@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: each isolates one design decision in
+the reproduction and measures its cost, so a reader can see *why* the
+system is built the way it is.
+"""
+
+import pytest
+
+from repro.experiments.configs import (
+    pattern_history,
+    path_scheme_history,
+    tagged_engine,
+    tagless_engine,
+)
+from repro.predictors import EngineConfig, TargetCacheConfig, simulate
+from repro.predictors.target_cache import TaggedIndexing
+
+
+def test_ablation_returns_through_target_cache(ctx, run_once):
+    """Paper footnote 1: returns belong on the RAS.  Routing them through
+    the target cache instead must hurt (they pollute the cache and the
+    stack-like behaviour defeats history indexing)."""
+    def run():
+        results = {}
+        for benchmark in ("perl", "gcc"):
+            trace = ctx.trace(benchmark)
+            normal = simulate(trace, tagless_engine(history=pattern_history()))
+            swallowed_config = EngineConfig(
+                target_cache=TargetCacheConfig(kind="tagless"),
+                history=pattern_history(),
+                target_cache_handles_returns=True,
+            )
+            swallowed = simulate(trace, swallowed_config)
+            results[benchmark] = (normal, swallowed)
+        return results
+
+    results = run_once(run)
+    print()
+    for benchmark, (normal, swallowed) in results.items():
+        from repro.guest.isa import BranchKind
+
+        ras_rate = normal.counters(BranchKind.RETURN).rate
+        tc_rate = swallowed.counters(BranchKind.RETURN).rate
+        print(f"{benchmark}: return mispredict RAS {ras_rate:.2%} vs "
+              f"TC {tc_rate:.2%}; indirect {normal.indirect_mispred_rate:.2%}"
+              f" vs {swallowed.indirect_mispred_rate:.2%}")
+        # the RAS must be at least as good at returns, and the TC must not
+        # get *better* at its own job from the added pollution
+        assert ras_rate <= tc_rate + 0.01
+        assert swallowed.indirect_mispred_rate >= normal.indirect_mispred_rate - 0.02
+
+
+def test_ablation_lru_vs_random_replacement(ctx, run_once):
+    """LRU in the tagged cache vs random replacement."""
+    def run():
+        rates = {}
+        for policy in ("lru", "random"):
+            config = EngineConfig(
+                target_cache=TargetCacheConfig(
+                    kind="tagged", entries=256, assoc=4,
+                    indexing=TaggedIndexing.HISTORY_XOR,
+                    replacement=policy,
+                ),
+                history=pattern_history(),
+            )
+            rates[policy] = simulate(ctx.trace("gcc"), config).indirect_mispred_rate
+        return rates
+
+    rates = run_once(run)
+    print(f"\ngcc tagged 4-way: LRU {rates['lru']:.2%} vs "
+          f"random {rates['random']:.2%}")
+    # LRU should not be (materially) worse than random
+    assert rates["lru"] <= rates["random"] + 0.02
+
+
+def test_ablation_finite_tag_bits(ctx, run_once):
+    """Full-precision tags vs a 6-bit tag field (cost-reduced hardware).
+
+    Tag aliasing turns some tag misses into false hits with wrong targets.
+    """
+    def run():
+        rates = {}
+        for tag_bits in (None, 6, 2):
+            config = EngineConfig(
+                target_cache=TargetCacheConfig(
+                    kind="tagged", entries=256, assoc=4, tag_bits=tag_bits,
+                ),
+                history=pattern_history(),
+            )
+            label = "full" if tag_bits is None else f"{tag_bits}-bit"
+            rates[label] = simulate(
+                ctx.trace("perl"), config
+            ).indirect_mispred_rate
+        return rates
+
+    rates = run_once(run)
+    print(f"\nperl tagged tag-width sweep: {rates}")
+    assert rates["full"] <= rates["2-bit"] + 0.02
+
+
+def test_ablation_shared_vs_wider_history_register(ctx, run_once):
+    """The paper shares the direction predictor's history register with
+    the target cache ('no extra hardware is required').  Check the cost of
+    truncating the TC's history to fewer bits than the tagless index wants.
+    """
+    def run():
+        rates = {}
+        for bits in (5, 9):
+            config = tagless_engine(history=pattern_history(bits),
+                                    history_bits=9)
+            rates[bits] = simulate(
+                ctx.trace("perl"), config
+            ).indirect_mispred_rate
+        return rates
+
+    rates = run_once(run)
+    print(f"\nperl tagless with 5- vs 9-bit shared history: {rates}")
+    assert rates[9] <= rates[5] + 0.02
+
+
+def test_ablation_trace_length_stability(run_once):
+    """Misprediction-rate estimates must be stable in trace length —
+    otherwise every table in this reproduction would be an artefact of the
+    trace budget."""
+    from repro.experiments.common import ExperimentContext
+
+    def run():
+        rates = {}
+        for length in (60_000, 120_000):
+            local = ExperimentContext(trace_length=length)
+            config = tagless_engine(
+                history=path_scheme_history("ind jmp")
+            )
+            rates[length] = local.prediction(
+                "perl", config
+            ).indirect_mispred_rate
+        return rates
+
+    rates = run_once(run)
+    print(f"\nperl TC mispredict vs trace length: {rates}")
+    assert abs(rates[60_000] - rates[120_000]) < 0.08
+
+
+def test_ablation_tagged_associativity_monotone(ctx, run_once):
+    """Within the History-Xor tagged design, prediction accuracy should
+    improve (weakly) with associativity at fixed capacity."""
+    def run():
+        rates = []
+        for assoc in (1, 4, 16):
+            stats = simulate(ctx.trace("perl"), tagged_engine(assoc=assoc))
+            rates.append(stats.indirect_mispred_rate)
+        return rates
+
+    rates = run_once(run)
+    print(f"\nperl tagged mispredict at assoc 1/4/16: "
+          f"{[f'{r:.2%}' for r in rates]}")
+    assert rates[2] <= rates[0] + 0.02

@@ -1,0 +1,53 @@
+"""Throughput micro-benchmarks for the simulator components.
+
+Unlike the table benches (one-shot regenerations), these use
+pytest-benchmark conventionally: multiple rounds over the hot loops, so
+simulator-performance regressions show up in the timing report.
+"""
+
+import pytest
+
+from repro.guest.vm import run_program
+from repro.pipeline import MachineConfig, memory_penalties, run_timing
+from repro.predictors import EngineConfig, TargetCacheConfig, simulate
+from repro.workloads import build_program, get_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return get_trace("perl", n_instructions=30_000)
+
+
+def test_vm_execution_throughput(benchmark):
+    program = build_program("perl")
+    result = benchmark.pedantic(
+        run_program, args=(program,), kwargs={"max_instructions": 30_000},
+        rounds=3, iterations=1,
+    )
+    assert len(result) == 30_000
+
+
+def test_prediction_simulator_throughput(benchmark, small_trace):
+    config = EngineConfig(target_cache=TargetCacheConfig(kind="tagless"))
+    stats = benchmark.pedantic(
+        simulate, args=(small_trace, config), rounds=3, iterations=1,
+    )
+    assert stats.indirect_jumps > 0
+
+
+def test_timing_model_throughput(benchmark, small_trace):
+    machine = MachineConfig()
+    penalties = memory_penalties(small_trace, machine)
+    result = benchmark.pedantic(
+        run_timing, args=(small_trace, machine, None, penalties),
+        rounds=3, iterations=1,
+    )
+    assert result.cycles > 0
+
+
+def test_memory_penalty_precomputation_throughput(benchmark, small_trace):
+    machine = MachineConfig()
+    penalties = benchmark.pedantic(
+        memory_penalties, args=(small_trace, machine), rounds=3, iterations=1,
+    )
+    assert penalties.shape == (len(small_trace),)

@@ -1,0 +1,22 @@
+"""Regenerate Figures 1-8: targets-per-indirect-jump histograms."""
+
+from repro.experiments import run_experiment
+
+
+def test_figures1_8_target_histograms(ctx, run_once):
+    table = run_once(run_experiment, "figures1_8", ctx)
+    print()
+    print(table.format())
+
+    shares = {label: dict(zip(table.columns, values))
+              for label, values in table.rows}
+
+    def many_target_share(name):
+        return shares[name]["10-19"] + shares[name][">=20"]
+
+    # the paper's split: gcc and perl are dominated by many-target jumps...
+    assert many_target_share("perl") > 0.1
+    assert many_target_share("gcc") > 0.1
+    # ...while compress/ijpeg/vortex have none
+    for name in ("compress", "ijpeg", "vortex"):
+        assert many_target_share(name) == 0.0, name

@@ -1,0 +1,23 @@
+"""Regenerate Table 1: benchmark statistics + BTB misprediction rates."""
+
+from repro.experiments import run_experiment
+from repro.workloads.registry import WORKLOADS
+
+
+def test_table1_benchmark_stats(ctx, run_once):
+    table = run_once(run_experiment, "table1", ctx)
+    print()
+    print(table.format())
+
+    for name, values in table.rows:
+        measured = values[3]
+        paper = WORKLOADS[name].paper_btb_mispred
+        # calibration: measured rate within a generous band of the paper's
+        assert abs(measured - paper) < 0.20, (
+            f"{name}: measured {measured:.1%} vs paper {paper:.1%}"
+        )
+
+    rates = {name: values[3] for name, values in table.rows}
+    # paper ordering: perl and gcc are by far the worst
+    assert rates["perl"] == max(rates.values())
+    assert rates["gcc"] >= sorted(rates.values())[-2] - 0.01

@@ -1,0 +1,25 @@
+"""Regenerate Table 4: tagless target cache index schemes."""
+
+from repro.experiments import run_experiment
+
+
+def test_table4_tagless_indexing(ctx, run_once):
+    table = run_once(run_experiment, "table4", ctx)
+    print()
+    print(table.format())
+
+    # every scheme beats the BTB baseline on both focus benchmarks
+    for benchmark in ("perl", "gcc"):
+        base = ctx.baseline(benchmark).indirect_mispred_rate
+        for label, _ in table.rows:
+            assert table.cell(label, benchmark) < base, (label, benchmark)
+
+    # paper §4.2.1: gshare best for gcc (spreads entries)
+    assert table.cell("gshare(9)", "gcc") <= table.cell("GAg(9)", "gcc")
+    assert table.cell("gshare(9)", "gcc") <= table.cell("GAs(8,1)", "gcc")
+
+    # paper §4.2.1: address bits are worth more on gcc (many static
+    # indirect jumps) than on perl (few): GAs degrades less vs GAg on gcc
+    perl_gas_penalty = table.cell("GAs(8,1)", "perl") - table.cell("GAg(9)", "perl")
+    gcc_gas_penalty = table.cell("GAs(8,1)", "gcc") - table.cell("GAg(9)", "gcc")
+    assert gcc_gas_penalty < perl_gas_penalty

@@ -1,0 +1,27 @@
+"""Regenerate Table 5: path-history address-bit selection."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table5 import ADDRESS_BITS
+
+
+def test_table5_path_bit_selection(ctx, run_once):
+    table = run_once(run_experiment, "table5", ctx)
+    print()
+    print(table.format())
+
+    # the low word bits carry information: for the schemes that work on
+    # perl, at least one of the low bit choices beats the highest bit
+    for scheme in ("ind jmp", "branch"):
+        low = max(table.cell(f"perl bit {bit}", scheme)
+                  for bit in ADDRESS_BITS[:3])
+        high = table.cell(f"perl bit {ADDRESS_BITS[-1]}", scheme)
+        assert low >= high - 0.02, scheme
+
+    # call/ret path history is useless for perl (the interpreter loop
+    # makes few calls); the paper's perl call/ret column is near zero
+    for bit in ADDRESS_BITS:
+        assert table.cell(f"perl bit {bit}", "call/ret") < 0.06
+
+    # every gcc path configuration yields a real (positive) win
+    for bit in ADDRESS_BITS:
+        assert table.cell(f"gcc bit {bit}", "control") > 0.0

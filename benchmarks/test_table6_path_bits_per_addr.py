@@ -1,0 +1,25 @@
+"""Regenerate Table 6: path-history bits recorded per target."""
+
+from repro.experiments import run_experiment
+
+
+def test_table6_path_bits_per_addr(ctx, run_once):
+    table = run_once(run_experiment, "table6", ctx)
+    print()
+    print(table.format())
+
+    # the paper's tradeoff: with a 9-bit register, recording more bits per
+    # target means remembering fewer targets; for perl's global schemes the
+    # benefit decreases (most sharply for Control and Branch)
+    for scheme in ("branch", "control"):
+        one_bit = table.cell("perl 1b/target", scheme)
+        three_bit = table.cell("perl 3b/target", scheme)
+        assert one_bit > three_bit, scheme
+
+    # the ind-jmp scheme filters to correlated branches only, so it decays
+    # least — it stays the best perl column at every bits-per-target
+    for bits in (1, 2, 3):
+        row = f"perl {bits}b/target"
+        ind_jmp = table.cell(row, "ind jmp")
+        assert ind_jmp >= table.cell(row, "branch") - 0.03
+        assert ind_jmp >= table.cell(row, "control") - 0.03

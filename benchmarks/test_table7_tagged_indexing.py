@@ -1,0 +1,27 @@
+"""Regenerate Table 7: tagged target cache indexing x associativity."""
+
+from repro.experiments import run_experiment
+
+
+def test_table7_tagged_indexing(ctx, run_once):
+    table = run_once(run_experiment, "table7", ctx)
+    print()
+    print(table.format())
+
+    for benchmark in ("perl", "gcc"):
+        # the Address scheme maps all of a jump's contexts into one set:
+        # at 1-way it thrashes and the history schemes crush it
+        addr_1 = table.cell(f"{benchmark} 1-way", "Addr")
+        xor_1 = table.cell(f"{benchmark} 1-way", "Hist-Xor")
+        concat_1 = table.cell(f"{benchmark} 1-way", "Hist-Concat")
+        assert xor_1 > addr_1 + 0.05
+        assert concat_1 > addr_1 + 0.05
+
+        # associativity rescues Address indexing (monotone-ish improvement)
+        addr_32 = table.cell(f"{benchmark} 32-way", "Addr")
+        assert addr_32 > addr_1
+
+        # the history schemes are already near their peak at 1-way: going
+        # to 32-way gains far less than it gains the Address scheme
+        xor_32 = table.cell(f"{benchmark} 32-way", "Hist-Xor")
+        assert (xor_32 - xor_1) < (addr_32 - addr_1)

@@ -1,0 +1,24 @@
+"""Regenerate Table 8: tagged target caches with path history."""
+
+from repro.experiments import run_experiment
+
+
+def test_table8_tagged_path(ctx, run_once):
+    table = run_once(run_experiment, "table8", ctx)
+    print()
+    print(table.format())
+
+    # paper §4.3.2: for perl, global ind-jmp path history is the winning
+    # history at every associativity (against the other path schemes)
+    for assoc in (1, 2, 4, 8, 16):
+        row = f"perl {assoc}-way"
+        ind_jmp = table.cell(row, "ind jmp")
+        assert ind_jmp >= table.cell(row, "branch") - 0.03
+        assert ind_jmp >= table.cell(row, "control") - 0.03
+        assert ind_jmp > table.cell(row, "call/ret")
+
+    # benefits grow (weakly) with associativity for the winning schemes
+    assert (table.cell("perl 16-way", "ind jmp")
+            >= table.cell("perl 1-way", "ind jmp"))
+    assert (table.cell("gcc 16-way", "control")
+            >= table.cell("gcc 1-way", "control"))

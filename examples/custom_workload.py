@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Write a brand-new guest workload and evaluate predictors on it.
+
+Shows the full substrate end-to-end on a program that is *not* one of the
+eight built-in benchmarks: a virtual-machine-style state machine whose
+transitions are function-pointer calls (CALLR), i.e. the C++-style virtual
+dispatch the paper's §5 points to as future work ("For object oriented
+programs ... tagged caches should provide even greater performance
+benefits").
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import random
+
+from repro.guest import ProgramBuilder, run_program
+from repro.predictors import (
+    EngineConfig,
+    HistoryConfig,
+    HistorySource,
+    TargetCacheConfig,
+    simulate,
+)
+from repro.predictors.history import PathFilter
+from repro.predictors.target_cache import TaggedIndexing
+from repro.trace import Trace, branch_mix, target_profile
+
+
+N_STATES = 8
+
+
+def build_state_machine(seed=3, n_sites=3):
+    """Objects cycle through states; each state's 'step' method is called
+    through a per-state function-pointer table from several call sites."""
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # state methods: variable length, each advances the state register
+    methods = [f"state_{i}" for i in range(N_STATES)]
+    # a single-cycle successor permutation; with 3 call sites per loop
+    # iteration, each site sees every state in turn (cycle length 8 and
+    # site count 3 are coprime), so every call site is megamorphic
+    successors = [(i + 3) % N_STATES for i in range(N_STATES)]
+    for i, name in enumerate(methods):
+        b.label(name)
+        for _ in range(1 + (i * 7) % 6):
+            b.addi(20, 20, i + 1)
+        b.li(12, successors[i])  # next state
+        b.ret()
+    table = b.data_table(methods)
+
+    b.label("main")
+    b.li(12, 0)  # current state
+    b.label("loop")
+    for site in range(n_sites):
+        # n_sites distinct indirect-call sites, as in real OO code
+        b.shli(1, 12, 2)
+        b.li(2, table)
+        b.add(1, 1, 2)
+        b.load(3, 1)
+        b.callr(3)
+        b.addi(21, 21, 1)
+        b.andi(21, 21, 0xFFFF)
+    b.jmp("loop")
+    return b.build(entry="main")
+
+
+def main() -> None:
+    program = build_state_machine()
+    trace = Trace.from_raw(run_program(program, max_instructions=150_000))
+    trace.validate()
+
+    mix = branch_mix(trace)
+    profile = target_profile(trace)
+    print("custom OO-style workload:")
+    print(f"  {mix.instructions} instructions, "
+          f"{mix.indirect_jumps} indirect calls "
+          f"({mix.indirect_fraction:.1%}), "
+          f"{profile.static_jumps} static call sites, "
+          f"up to {profile.max_targets()} receivers per site")
+
+    configurations = [
+        ("BTB only", EngineConfig()),
+        # 1 bit per target is too coarse here: the tightly packed method
+        # addresses alternate in bit 2 with exactly the state parity, so
+        # the history collapses to two values (the paper's Table 5/6
+        # bit-selection hazard in miniature)
+        ("tagless, path ind-jmp 9x1 bit", EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagless"),
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9,
+                                  path_filter=PathFilter.IND_JMP))),
+        # 3 bits per target distinguishes all 8 methods: the last three
+        # receivers uniquely determine the next one
+        ("tagless, path ind-jmp 3x3 bits", EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagless"),
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9,
+                                  bits_per_target=3,
+                                  path_filter=PathFilter.IND_JMP))),
+        ("tagged 256e 4-way xor, 3x3-bit path", EngineConfig(
+            target_cache=TargetCacheConfig(
+                kind="tagged", entries=256, assoc=4,
+                indexing=TaggedIndexing.HISTORY_XOR),
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9,
+                                  bits_per_target=3,
+                                  path_filter=PathFilter.IND_JMP))),
+    ]
+    print(f"\n{'configuration':40s} {'indirect mispredict':>20s}")
+    for label, config in configurations:
+        stats = simulate(trace, config)
+        print(f"{label:40s} {stats.indirect_mispred_rate:>19.2%}")
+
+    print("\nthe state sequence is deterministic, so a history that can "
+          "tell the receivers apart (3 bits/target) drives mispredictions "
+          "to ~zero while the BTB misses every state change — the paper's "
+          "§5 OO prediction, plus its Table 6 bit-budget tradeoff.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Sweep the target-cache design space on one workload.
+
+Explores the axes of the paper's §4 on a chosen benchmark: tagless index
+schemes, tagged associativity and indexing, history type and length — and
+prints a ranked summary, ending with the cost-equalised tagless-512 vs
+tagged-256 comparison of Figures 12/13.
+
+Usage::
+
+    python examples/design_space.py [benchmark] [trace_length]
+"""
+
+import sys
+
+from repro.predictors import EngineConfig, HistoryConfig, HistorySource, simulate
+from repro.predictors.history import PathFilter
+from repro.predictors.target_cache import TaggedIndexing, TargetCacheConfig
+from repro.workloads import get_trace, workload_names
+
+
+def tagless(scheme, history_bits=9, address_bits=0, source=HistorySource.PATTERN,
+            path_filter=PathFilter.CONTROL):
+    return EngineConfig(
+        target_cache=TargetCacheConfig(kind="tagless", scheme=scheme,
+                                       history_bits=history_bits,
+                                       address_bits=address_bits),
+        history=HistoryConfig(source=source, bits=max(history_bits, 9),
+                              path_filter=path_filter),
+    )
+
+
+def tagged(assoc, indexing=TaggedIndexing.HISTORY_XOR, history_bits=9):
+    return EngineConfig(
+        target_cache=TargetCacheConfig(kind="tagged", entries=256,
+                                       assoc=assoc, indexing=indexing,
+                                       history_bits=history_bits),
+        history=HistoryConfig(source=HistorySource.PATTERN, bits=history_bits),
+    )
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    trace_length = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+    if benchmark not in workload_names():
+        raise SystemExit(f"unknown benchmark {benchmark!r}; "
+                         f"choose from {', '.join(workload_names())}")
+
+    print(f"sweeping the target-cache design space on {benchmark} "
+          f"({trace_length} instructions)...")
+    trace = get_trace(benchmark, n_instructions=trace_length)
+
+    design_points = {
+        "BTB only": EngineConfig(),
+        "tagless GAg(9)": tagless("gag"),
+        "tagless GAs(8,1)": tagless("gas", 8, 1),
+        "tagless gshare(9)": tagless("gshare"),
+        "tagless gshare(9) path-control": tagless(
+            "gshare", source=HistorySource.PATH_GLOBAL,
+            path_filter=PathFilter.CONTROL),
+        "tagless gshare(9) path-indjmp": tagless(
+            "gshare", source=HistorySource.PATH_GLOBAL,
+            path_filter=PathFilter.IND_JMP),
+        "tagged 1-way addr": tagged(1, TaggedIndexing.ADDRESS),
+        "tagged 1-way xor": tagged(1),
+        "tagged 4-way xor": tagged(4),
+        "tagged 16-way xor": tagged(16),
+        "tagged 16-way xor, 16-bit history": tagged(16, history_bits=16),
+        "oracle": EngineConfig(target_cache=TargetCacheConfig(kind="oracle")),
+    }
+
+    results = {}
+    for label, config in design_points.items():
+        results[label] = simulate(trace, config).indirect_mispred_rate
+
+    print(f"\n{'design point':40s} {'indirect mispredict':>20s}")
+    for label, rate in sorted(results.items(), key=lambda kv: kv[1]):
+        print(f"{label:40s} {rate:>19.2%}")
+
+    best = min((rate, label) for label, rate in results.items()
+               if label not in ("oracle", "BTB only"))
+    base = results["BTB only"]
+    print(f"\nbest realisable design: {best[1]} "
+          f"({best[0]:.2%}, a {(base - best[0]) / base:.0%} reduction "
+          f"over the BTB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Build your own interpreter workload and watch the path history learn it.
+
+This example reproduces the paper's §4.2.3 perl observation from scratch:
+it assembles a small bytecode interpreter with the guest program builder,
+traces it, and shows how prediction accuracy depends on *which* history
+indexes the target cache — and on how periodic the interpreted script is.
+
+Usage::
+
+    python examples/interpreter_dispatch.py
+"""
+
+import random
+
+from repro.guest import ProgramBuilder, run_program
+from repro.predictors import (
+    EngineConfig,
+    HistoryConfig,
+    HistorySource,
+    TargetCacheConfig,
+    simulate,
+)
+from repro.predictors.history import PathFilter
+from repro.trace import Trace
+
+
+def build_interpreter(script, n_handlers=12, seed=7):
+    """Assemble a dispatch-loop interpreter for a fixed token script."""
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+    handlers = [f"h{i}" for i in range(n_handlers)]
+    table = b.data_table(handlers)
+    script_base = b.data_table(script)
+    for i, name in enumerate(handlers):
+        b.label(name)
+        # variable-length bodies so target-address bits are informative
+        for _ in range(1 + i % 5):
+            b.addi(20, 20, i + 1)
+        b.jmp("cont")
+    b.label("main")
+    b.li(10, 0)
+    b.li(11, len(script))
+    b.label("loop")
+    b.shli(1, 10, 2)
+    b.li(2, script_base)
+    b.add(1, 1, 2)
+    b.load(3, 1)
+    b.shli(1, 3, 2)
+    b.li(2, table)
+    b.add(1, 1, 2)
+    b.load(4, 1)
+    b.jr(4)
+    b.label("cont")
+    b.addi(10, 10, 1)
+    b.blt(10, 11, "loop")
+    b.li(10, 0)
+    b.jmp("loop")
+    return b.build(entry="main")
+
+
+def measure(trace, history):
+    config = EngineConfig(
+        target_cache=TargetCacheConfig(kind="tagless", scheme="gshare",
+                                       history_bits=9),
+        history=history,
+    )
+    return simulate(trace, config).indirect_mispred_rate
+
+
+def main() -> None:
+    rng = random.Random(42)
+    periodic_script = [rng.randrange(12) for _ in range(40)]
+
+    print("periodic script (the paper's perl case):")
+    program = build_interpreter(periodic_script)
+    trace = Trace.from_raw(run_program(program, max_instructions=120_000))
+    btb = simulate(trace, EngineConfig()).indirect_mispred_rate
+    print(f"  BTB only:                    {btb:6.1%}")
+    for label, history in [
+        ("ind-jmp path history (9x1b)", HistoryConfig(
+            source=HistorySource.PATH_GLOBAL, bits=9,
+            path_filter=PathFilter.IND_JMP)),
+        ("ind-jmp path, 3 bits/target", HistoryConfig(
+            source=HistorySource.PATH_GLOBAL, bits=9, bits_per_target=3,
+            path_filter=PathFilter.IND_JMP)),
+        ("per-address path history", HistoryConfig(
+            source=HistorySource.PATH_PER_ADDRESS, bits=9)),
+        ("pattern history", HistoryConfig(
+            source=HistorySource.PATTERN, bits=9)),
+    ]:
+        print(f"  target cache, {label:28s} {measure(trace, history):6.1%}")
+
+    print("\nsame interpreter, fresh random tokens every iteration "
+          "(no repeating script -> nothing for history to learn):")
+    # emulate aperiodicity by concatenating many distinct scripts
+    long_random_script = [rng.randrange(12) for _ in range(4000)]
+    program = build_interpreter(long_random_script)
+    trace = Trace.from_raw(run_program(program, max_instructions=120_000))
+    btb = simulate(trace, EngineConfig()).indirect_mispred_rate
+    path = measure(trace, HistoryConfig(
+        source=HistorySource.PATH_GLOBAL, bits=9,
+        path_filter=PathFilter.IND_JMP))
+    print(f"  BTB only:                    {btb:6.1%}")
+    print(f"  target cache, path history:  {path:6.1%}")
+    print("\ntakeaway: the target cache's win comes from *recurring* "
+          "control-flow contexts; the paper's looping perl script is the "
+          "ideal case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (pip falls back to the legacy `setup.py develop` path with
+--no-use-pep517). All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of *Target Prediction for Indirect Jumps*
+(Po-Yung Chang, Eric Hao, Yale N. Patt, ISCA 1997).
+
+The paper proposes the **target cache**: an indirect-jump target predictor
+indexed by branch history, transplanting the two-level direction-prediction
+idea to target prediction.  This package implements the full system:
+
+* :mod:`repro.guest` — a small guest ISA, assembler and functional VM
+  (the substrate replacing SPECint95 binaries);
+* :mod:`repro.workloads` — eight benchmark-like guest programs calibrated
+  against the paper's published statistics;
+* :mod:`repro.trace` — numpy-backed dynamic-instruction traces and stats;
+* :mod:`repro.predictors` — BTB (default and 2-bit update), two-level
+  direction predictors, return address stack, pattern/path history
+  registers, and the tagless/tagged target caches;
+* :mod:`repro.pipeline` — HPS-like out-of-order timing models;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.workloads import get_trace
+    from repro.predictors import (EngineConfig, simulate, TargetCacheConfig,
+                                  HistoryConfig, HistorySource)
+
+    trace = get_trace("perl", n_instructions=200_000)
+    btb_only = simulate(trace, EngineConfig())
+    with_tc = simulate(trace, EngineConfig(
+        target_cache=TargetCacheConfig(kind="tagless", scheme="gshare"),
+        history=HistoryConfig(source=HistorySource.PATTERN, bits=9),
+    ))
+    print(btb_only.indirect_mispred_rate, with_tc.indirect_mispred_rate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

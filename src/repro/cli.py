@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro`` / ``repro``.
+
+Subcommands::
+
+    repro list                      # available experiments and workloads
+    repro table1 [options]          # run one experiment and print its table
+    repro all [options]             # run every experiment
+    repro trace <workload> [options]  # print workload trace statistics
+    repro dump <workload> [--head N]  # disassemble a workload's code
+
+Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
+``--seed S``, ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import (
+    EXPERIMENT_MODULES,
+    ExperimentContext,
+    run_experiment,
+)
+from repro.guest.disasm import disassemble_program
+from repro.trace.stats import branch_mix, indirect_target_histogram, transition_rate
+from repro.workloads import build_program, get_trace, workload_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Target Prediction for Indirect Jumps' "
+                    "(Chang, Hao & Patt, ISCA 1997)",
+    )
+    parser.add_argument("command",
+                        help="experiment name, 'all', 'list', 'trace', or "
+                             "'dump'")
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (for 'trace' and 'dump')")
+    parser.add_argument("--head", type=int, default=80,
+                        help="instructions to disassemble (dump command)")
+    parser.add_argument("--trace-length", type=int, default=None,
+                        help="instructions per trace (default 400000)")
+    parser.add_argument("--seed", type=int, default=1997)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk trace cache")
+    return parser
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        trace_length=args.trace_length,
+        seed=args.seed,
+        use_trace_cache=not args.no_cache,
+    )
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in EXPERIMENT_MODULES:
+        print(f"  {name}")
+    print("workloads:")
+    for name in workload_names(include_oo=True):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    if not args.workload:
+        print("usage: repro dump <workload> [--head N]", file=sys.stderr)
+        return 2
+    program = build_program(args.workload, seed=args.seed)
+    print(f"; {args.workload}: {program.num_instructions} static "
+          f"instructions, entry at {program.entry:#x}, "
+          f"{len(program.static_indirect_jumps())} static indirect jumps")
+    print(disassemble_program(program, count=args.head))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if not args.workload:
+        print("usage: repro trace <workload>", file=sys.stderr)
+        return 2
+    trace = get_trace(
+        args.workload,
+        n_instructions=args.trace_length or 400_000,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+    )
+    mix = branch_mix(trace)
+    print(f"workload {args.workload}: {mix.instructions} instructions")
+    print(f"  branches: {mix.branches} ({mix.branch_fraction:.1%})")
+    print(f"  conditional: {mix.conditional_branches}")
+    print(f"  indirect jumps: {mix.indirect_jumps} "
+          f"({mix.indirect_fraction:.2%})")
+    print(f"  returns: {mix.returns}, calls: {mix.calls}")
+    print(f"  last-target transition rate: {transition_rate(trace):.1%}")
+    histogram = indirect_target_histogram(trace)
+    busy = {k: round(v, 1) for k, v in histogram.items() if v > 0.5}
+    print(f"  targets-per-jump histogram (% of static jumps): {busy}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "dump":
+        return _cmd_dump(args)
+    ctx = _context(args)
+    names = list(EXPERIMENT_MODULES) if args.command == "all" else [args.command]
+    for name in names:
+        if name not in EXPERIMENT_MODULES:
+            print(f"unknown experiment {name!r}; try 'repro list'",
+                  file=sys.stderr)
+            return 2
+        start = time.time()
+        table = run_experiment(name, ctx)
+        print(table.format())
+        print(f"   [{time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(ctx) -> ExperimentTable`` taking an
+:class:`~repro.experiments.common.ExperimentContext` (which owns trace
+generation, caching, and the machine configuration) and returning a
+printable result table.  ``python -m repro <experiment>`` runs one from the
+command line; ``python -m repro all`` regenerates everything.
+
+=================  ========================================================
+module             reproduces
+=================  ========================================================
+``table1``         Table 1 — benchmark statistics + BTB indirect
+                   misprediction rates
+``figures1_8``     Figures 1-8 — targets-per-indirect-jump histograms
+``table2``         Table 2 — default vs 2-bit BTB update strategy
+``table4``         Table 4 — tagless index schemes (GAg/GAs/gshare)
+``table5``         Table 5 — path history: address-bit selection
+``table6``         Table 6 — path history: bits recorded per target
+``table7``         Table 7 — tagged target cache indexing schemes
+``table8``         Table 8 — tagged target caches with path history
+``table9``         Table 9 — 9 vs 16 pattern-history bits
+``figures12_13``   Figures 12/13 — tagless vs tagged across associativity
+``headline``       §1/§5 headline claims (misprediction + execution-time
+                   reductions for perl and gcc)
+=================  ========================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentTable,
+    EXPERIMENT_MODULES,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentTable",
+    "EXPERIMENT_MODULES",
+    "run_experiment",
+]

@@ -1,0 +1,193 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentContext` owns everything an experiment needs — traces
+(disk-cached), the machine model, per-trace memory-penalty arrays, and the
+baseline (BTB-only) prediction/timing results that every "reduction in
+execution time" cell is measured against.  Keeping these memoised on the
+context is what makes the paper's multi-hundred-cell sweeps tractable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pipeline import MachineConfig, memory_penalties, run_timing
+from repro.predictors import EngineConfig, PredictionStats, simulate
+from repro.trace.trace import Trace
+from repro.workloads import get_trace
+
+#: Benchmarks the paper's design-space tables focus on ("We will
+#: concentrate on the gcc and perl benchmarks, the two benchmarks with the
+#: largest number of indirect jumps", §4.1).
+FOCUS_BENCHMARKS = ("perl", "gcc")
+
+#: Experiment name -> module path, for the CLI.
+EXPERIMENT_MODULES: Dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "figures1_8": "repro.experiments.figures1_8",
+    "table2": "repro.experiments.table2",
+    "table4": "repro.experiments.table4",
+    "table5": "repro.experiments.table5",
+    "table6": "repro.experiments.table6",
+    "table7": "repro.experiments.table7",
+    "table8": "repro.experiments.table8",
+    "table9": "repro.experiments.table9",
+    "figures12_13": "repro.experiments.figures12_13",
+    "headline": "repro.experiments.headline",
+    "oo_future_work": "repro.experiments.oo_future_work",
+    "cascaded": "repro.experiments.cascaded",
+    "modern": "repro.experiments.modern",
+    "capacity": "repro.experiments.capacity",
+    "calibration": "repro.experiments.calibration",
+}
+
+
+def default_trace_length() -> int:
+    """Trace length for experiments (``REPRO_TRACE_LENGTH`` overrides)."""
+    return int(os.environ.get("REPRO_TRACE_LENGTH", "400000"))
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment result."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Tuple[str, List[float]]]
+    #: how to render the numbers: "percent", "count", or "float"; applies
+    #: to every column unless ``column_formats`` overrides per column
+    value_format: str = "percent"
+    column_formats: Optional[List[str]] = None
+    notes: str = ""
+
+    def _format_for(self, column_index: int) -> str:
+        if self.column_formats is not None:
+            return self.column_formats[column_index]
+        return self.value_format
+
+    def format(self) -> str:
+        label_width = max([len("")] + [len(label) for label, _ in self.rows]) + 2
+        col_width = max([12] + [len(c) + 2 for c in self.columns])
+        lines = [f"== {self.experiment_id}: {self.title}"]
+        header = " " * label_width + "".join(f"{c:>{col_width}}" for c in self.columns)
+        lines.append(header)
+        for label, values in self.rows:
+            rendered = []
+            for column_index, value in enumerate(values):
+                fmt = self._format_for(column_index)
+                if value is None or (isinstance(value, float) and np.isnan(value)):
+                    rendered.append(f"{'-':>{col_width}}")
+                elif fmt == "percent":
+                    rendered.append(f"{100 * value:>{col_width - 1}.2f}%")
+                elif fmt == "count":
+                    rendered.append(f"{int(value):>{col_width},}")
+                else:
+                    rendered.append(f"{value:>{col_width}.3f}")
+            lines.append(f"{label:<{label_width}}" + "".join(rendered))
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+    def cell(self, row_label: str, column: str) -> float:
+        """Fetch one value by row label and column name (for tests)."""
+        column_index = self.columns.index(column)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[column_index]
+        raise KeyError(row_label)
+
+
+class ExperimentContext:
+    """Memoised traces, baselines and timing for one experiment session."""
+
+    def __init__(self, trace_length: Optional[int] = None, seed: int = 1997,
+                 machine: Optional[MachineConfig] = None,
+                 use_trace_cache: bool = True) -> None:
+        self.trace_length = trace_length or default_trace_length()
+        self.seed = seed
+        self.machine = machine or MachineConfig()
+        self.use_trace_cache = use_trace_cache
+        self._traces: Dict[str, Trace] = {}
+        self._penalties: Dict[str, np.ndarray] = {}
+        self._base_stats: Dict[str, PredictionStats] = {}
+        self._base_cycles: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, benchmark: str) -> Trace:
+        if benchmark not in self._traces:
+            self._traces[benchmark] = get_trace(
+                benchmark, n_instructions=self.trace_length, seed=self.seed,
+                use_cache=self.use_trace_cache,
+            )
+        return self._traces[benchmark]
+
+    def penalty(self, benchmark: str) -> np.ndarray:
+        if benchmark not in self._penalties:
+            self._penalties[benchmark] = memory_penalties(
+                self.trace(benchmark), self.machine
+            )
+        return self._penalties[benchmark]
+
+    # ------------------------------------------------------------------
+    def prediction(self, benchmark: str, config: EngineConfig,
+                   collect_mask: bool = False) -> PredictionStats:
+        """Run the fetch-engine simulation (not memoised: configs vary)."""
+        return simulate(self.trace(benchmark), config, collect_mask=collect_mask)
+
+    def baseline(self, benchmark: str) -> PredictionStats:
+        """BTB-only prediction stats with the mispredict mask, memoised."""
+        if benchmark not in self._base_stats:
+            self._base_stats[benchmark] = self.prediction(
+                benchmark, EngineConfig(), collect_mask=True
+            )
+        return self._base_stats[benchmark]
+
+    def baseline_cycles(self, benchmark: str) -> int:
+        if benchmark not in self._base_cycles:
+            result = run_timing(
+                self.trace(benchmark), self.machine,
+                self.baseline(benchmark).mispredict_mask,
+                self.penalty(benchmark),
+            )
+            self._base_cycles[benchmark] = result.cycles
+        return self._base_cycles[benchmark]
+
+    def cycles(self, benchmark: str, config: EngineConfig) -> int:
+        """Execution cycles of the machine with this predictor config."""
+        stats = self.prediction(benchmark, config, collect_mask=True)
+        result = run_timing(
+            self.trace(benchmark), self.machine,
+            stats.mispredict_mask, self.penalty(benchmark),
+        )
+        return result.cycles
+
+    def execution_time_reduction(self, benchmark: str,
+                                 config: EngineConfig) -> float:
+        """The paper's headline metric: (T_base - T_config) / T_base,
+        where the base machine predicts indirect jumps with the BTB only."""
+        base = self.baseline_cycles(benchmark)
+        with_config = self.cycles(benchmark, config)
+        return (base - with_config) / base if base else 0.0
+
+
+def run_experiment(name: str, ctx: Optional[ExperimentContext] = None) -> ExperimentTable:
+    """Run a named experiment and return its table."""
+    if name not in EXPERIMENT_MODULES:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENT_MODULES))}"
+        )
+    module = importlib.import_module(EXPERIMENT_MODULES[name])
+    return module.run(ctx or ExperimentContext())
+
+
+def sweep_rows(labels: Sequence[str],
+               values: Dict[str, List[float]]) -> List[Tuple[str, List[float]]]:
+    """Build table rows from a dict keyed by row label."""
+    return [(label, values[label]) for label in labels]

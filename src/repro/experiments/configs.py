@@ -1,0 +1,80 @@
+"""Canonical predictor configurations used across experiments.
+
+Thin constructors over :class:`~repro.predictors.engine.EngineConfig` so
+experiment modules read like the paper's table captions.
+"""
+
+from __future__ import annotations
+
+from repro.predictors import EngineConfig, HistoryConfig, HistorySource
+from repro.predictors.history import PathFilter
+from repro.predictors.target_cache import TaggedIndexing, TargetCacheConfig
+
+
+def pattern_history(bits: int = 9) -> HistoryConfig:
+    return HistoryConfig(source=HistorySource.PATTERN, bits=bits)
+
+
+def path_history(path_filter: PathFilter, bits: int = 9,
+                 bits_per_target: int = 1, address_bit: int = 2) -> HistoryConfig:
+    return HistoryConfig(
+        source=HistorySource.PATH_GLOBAL, bits=bits,
+        bits_per_target=bits_per_target, address_bit=address_bit,
+        path_filter=path_filter,
+    )
+
+
+def per_address_history(bits: int = 9, bits_per_target: int = 1,
+                        address_bit: int = 2) -> HistoryConfig:
+    return HistoryConfig(
+        source=HistorySource.PATH_PER_ADDRESS, bits=bits,
+        bits_per_target=bits_per_target, address_bit=address_bit,
+    )
+
+
+def tagless_engine(scheme: str = "gshare", history_bits: int = 9,
+                   address_bits: int = 0,
+                   history: HistoryConfig = None) -> EngineConfig:
+    """A 512-entry-class tagless target cache (2**(h+a) entries)."""
+    if history is None:
+        history = pattern_history(max(history_bits, 9))
+    return EngineConfig(
+        target_cache=TargetCacheConfig(
+            kind="tagless", scheme=scheme,
+            history_bits=history_bits, address_bits=address_bits,
+        ),
+        history=history,
+    )
+
+
+def tagged_engine(assoc: int, indexing: TaggedIndexing = TaggedIndexing.HISTORY_XOR,
+                  entries: int = 256, history_bits: int = 9,
+                  history: HistoryConfig = None) -> EngineConfig:
+    """A 256-entry tagged target cache (the paper's §4.3 configuration)."""
+    if history is None:
+        history = pattern_history(max(history_bits, 9))
+    return EngineConfig(
+        target_cache=TargetCacheConfig(
+            kind="tagged", entries=entries, assoc=assoc,
+            indexing=indexing, history_bits=history_bits,
+        ),
+        history=history,
+    )
+
+
+#: The path-history scheme labels of the paper's Tables 5, 6 and 8.
+PATH_SCHEME_LABELS = ("per-addr", "branch", "control", "ind jmp", "call/ret")
+
+
+def path_scheme_history(label: str, bits: int = 9, bits_per_target: int = 1,
+                        address_bit: int = 2) -> HistoryConfig:
+    """History config for one of the paper's path-history scheme labels."""
+    if label == "per-addr":
+        return per_address_history(bits, bits_per_target, address_bit)
+    filters = {
+        "branch": PathFilter.BRANCH,
+        "control": PathFilter.CONTROL,
+        "ind jmp": PathFilter.IND_JMP,
+        "call/ret": PathFilter.CALL_RET,
+    }
+    return path_history(filters[label], bits, bits_per_target, address_bit)

@@ -1,0 +1,34 @@
+"""Guest ISA, program builder, and functional VM.
+
+The paper traces SPECint95 binaries compiled for a real ISA.  We do not have
+those binaries (or a 1995 compiler), so this package provides the substitute
+substrate: a small RISC-like guest instruction set ("TVM"), a label-based
+program builder, and a functional simulator that executes guest programs and
+emits dynamic-instruction traces carrying everything the predictors and the
+timing model need — program counters, branch kinds, taken bits, computed
+targets, register dependences, and memory addresses.
+
+Public API:
+
+* :class:`~repro.guest.isa.Op` — guest opcodes.
+* :class:`~repro.guest.isa.InstrClass` — timing classes (paper Table 3).
+* :class:`~repro.guest.isa.BranchKind` — control-flow taxonomy (paper §1).
+* :class:`~repro.guest.builder.ProgramBuilder` — assemble guest programs.
+* :class:`~repro.guest.vm.VM` — execute a program, producing a trace.
+"""
+
+from repro.guest.isa import BranchKind, GuestProgram, InstrClass, Instruction, Op
+from repro.guest.builder import ProgramBuilder
+from repro.guest.vm import VM, VMError, run_program
+
+__all__ = [
+    "BranchKind",
+    "GuestProgram",
+    "InstrClass",
+    "Instruction",
+    "Op",
+    "ProgramBuilder",
+    "VM",
+    "VMError",
+    "run_program",
+]

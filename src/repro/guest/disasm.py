@@ -1,0 +1,103 @@
+"""Disassembler for guest programs and traces.
+
+Renders :class:`~repro.guest.isa.Instruction` objects, whole programs (with
+label annotations), and dynamic trace windows in a conventional assembly
+syntax.  Used by ``repro dump`` and invaluable when debugging workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.guest.isa import (
+    INSTRUCTION_BYTES,
+    GuestProgram,
+    Instruction,
+    Op,
+)
+
+_THREE_REG = {Op.ADD: "add", Op.SUB: "sub", Op.AND: "and", Op.OR: "or",
+              Op.XOR: "xor", Op.SLT: "slt", Op.MUL: "mul", Op.DIV: "div",
+              Op.MOD: "mod", Op.FADD: "fadd", Op.FSUB: "fsub",
+              Op.FMUL: "fmul", Op.FDIV: "fdiv", Op.SHL: "shl", Op.SHR: "shr"}
+_TWO_REG_IMM = {Op.ADDI: "addi", Op.SHLI: "shli", Op.SHRI: "shri",
+                Op.ANDI: "andi", Op.XORI: "xori"}
+_BRANCH = {Op.BEQ: "beq", Op.BNE: "bne", Op.BLT: "blt", Op.BGE: "bge"}
+
+
+def format_instruction(ins: Instruction,
+                       labels: Optional[Dict[int, str]] = None) -> str:
+    """Render one instruction; ``labels`` maps addresses to names."""
+    def where(address: int) -> str:
+        if labels and address in labels:
+            return labels[address]
+        return f"{address:#x}"
+
+    op = ins.op
+    if op in _THREE_REG:
+        return f"{_THREE_REG[op]:6s} r{ins.rd}, r{ins.rs1}, r{ins.rs2}"
+    if op in _TWO_REG_IMM:
+        return f"{_TWO_REG_IMM[op]:6s} r{ins.rd}, r{ins.rs1}, {ins.imm}"
+    if op in _BRANCH:
+        return f"{_BRANCH[op]:6s} r{ins.rs1}, r{ins.rs2}, {where(ins.imm)}"
+    if op is Op.LI:
+        return f"li     r{ins.rd}, {ins.imm}"
+    if op is Op.LOAD:
+        return f"load   r{ins.rd}, [r{ins.rs1}+{ins.imm}]"
+    if op is Op.STORE:
+        return f"store  r{ins.rs2}, [r{ins.rs1}+{ins.imm}]"
+    if op is Op.JMP:
+        return f"jmp    {where(ins.imm)}"
+    if op is Op.CALL:
+        return f"call   {where(ins.imm)}"
+    if op is Op.CALLR:
+        return f"callr  r{ins.rs1}"
+    if op is Op.JR:
+        return f"jr     r{ins.rs1}"
+    if op is Op.RET:
+        return "ret"
+    if op is Op.HALT:
+        return "halt"
+    raise ValueError(f"unknown opcode {op!r}")  # pragma: no cover
+
+
+def disassemble_program(program: GuestProgram,
+                        start: int = 0,
+                        count: Optional[int] = None) -> str:
+    """Disassemble ``count`` instructions from address ``start``.
+
+    Labels from the program's symbol table annotate their addresses and
+    are used symbolically in branch operands.
+    """
+    by_address = {address: name for name, address in program.labels.items()}
+    lines: List[str] = []
+    first = start // INSTRUCTION_BYTES
+    last = len(program.code) if count is None else min(
+        len(program.code), first + count
+    )
+    for index in range(first, last):
+        address = index * INSTRUCTION_BYTES
+        if address in by_address:
+            lines.append(f"{by_address[address]}:")
+        rendered = format_instruction(program.code[index], by_address)
+        lines.append(f"  {address:#07x}  {rendered}")
+    return "\n".join(lines)
+
+
+def format_trace_window(trace, start: int = 0, count: int = 32,
+                        labels: Optional[Dict[int, str]] = None) -> str:
+    """Render a window of dynamic trace rows with branch annotations."""
+    lines: List[str] = []
+    end = min(len(trace), start + count)
+    for i in range(start, end):
+        record = trace.record(i)
+        kind = record.branch_kind
+        annotation = ""
+        if kind.is_branch:
+            arrow = "taken" if record.taken else "not-taken"
+            destination = (labels or {}).get(record.target,
+                                             f"{record.target:#x}")
+            annotation = f"   ; {kind.name.lower()} {arrow} -> {destination}"
+        lines.append(f"{i:>8}  {record.pc:#07x}  "
+                     f"{record.instr_class.name:<8}{annotation}")
+    return "\n".join(lines)

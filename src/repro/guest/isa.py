@@ -1,0 +1,302 @@
+"""Guest instruction-set definition for the TVM functional simulator.
+
+The ISA is deliberately small but covers everything the paper's experiments
+need:
+
+* integer / floating-point / bit-field arithmetic so the timing model can
+  apply the per-class latencies of the paper's Table 3;
+* loads and stores with register+immediate addressing so the 16KB data cache
+  of the simulated machine sees realistic address streams;
+* the full control-flow taxonomy of the paper's Section 1 — conditional
+  direct branches, unconditional direct jumps, direct and indirect calls,
+  returns, and indirect jumps (the jump-table jumps the target cache
+  predicts).
+
+Instructions are fixed-size (4 bytes) and word-aligned, matching the paper's
+observation that "the least significant bits from each address are ignored
+because instructions are aligned on word boundaries".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+#: Byte size of one guest instruction; guest PCs advance by this much.
+INSTRUCTION_BYTES = 4
+
+#: Number of architectural registers.  Register 0 is hard-wired to zero.
+NUM_REGISTERS = 32
+
+#: Conventional register assignments used by the program builder and the
+#: workloads.  Nothing in the VM enforces these beyond ZERO.
+REG_ZERO = 0
+
+
+class InstrClass(IntEnum):
+    """Timing classes, mirroring the paper's Table 3.
+
+    Each dynamic instruction belongs to exactly one class; the pipeline model
+    assigns execution latency by class ("each functional unit can execute
+    instructions from any of the instruction classes").
+    """
+
+    INT = 0        #: integer add, sub and logic ops
+    FP_ADD = 1     #: FP add, sub, and convert
+    MUL = 2        #: FP mul and INT mul
+    DIV = 3        #: FP div and INT div
+    LOAD = 4       #: memory loads
+    STORE = 5      #: memory stores
+    BITFIELD = 6   #: shift and bit testing
+    BRANCH = 7     #: control instructions
+
+
+class BranchKind(IntEnum):
+    """Control-flow taxonomy from the paper's Section 1.
+
+    The paper partitions branches along two axes (conditional/unconditional,
+    direct/indirect) and notes only three of the four combinations occur with
+    significant frequency.  Returns are technically indirect jumps but are
+    excluded from the target cache because the return address stack already
+    handles them (paper footnote 1); they get their own kind so that the
+    fetch engine and the path-history filters can treat them separately, as
+    do direct and indirect calls (the ``Call/ret`` path-history variant
+    records both).
+    """
+
+    NOT_BRANCH = 0
+    COND_DIRECT = 1    #: conditional direct branch (beq/bne/blt/bge)
+    UNCOND_DIRECT = 2  #: unconditional direct jump
+    CALL_DIRECT = 3    #: direct jump-to-subroutine
+    CALL_INDIRECT = 4  #: indirect jump-to-subroutine (function pointer)
+    RETURN = 5         #: subroutine return
+    IND_JUMP = 6       #: indirect jump (jump-table dispatch)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is not BranchKind.NOT_BRANCH
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for branches whose target is dynamically specified."""
+        return self in _INDIRECT_KINDS
+
+    @property
+    def is_predicted_by_target_cache(self) -> bool:
+        """Indirect branches the paper routes through the target cache.
+
+        Indirect jumps and indirect calls qualify; returns do not (they are
+        handled by the return address stack).
+        """
+        return self in _TARGET_CACHE_KINDS
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT)
+
+    @property
+    def redirects_stream(self) -> bool:
+        """True for every kind that can redirect the instruction stream.
+
+        This is the membership test of the paper's ``Control`` path-history
+        variant.  Conditional branches only redirect when taken, but the
+        paper's Control scheme records "the target address of all
+        instructions that can redirect the instruction stream", i.e. every
+        branch kind.
+        """
+        return self is not BranchKind.NOT_BRANCH
+
+
+_INDIRECT_KINDS = frozenset(
+    {BranchKind.CALL_INDIRECT, BranchKind.RETURN, BranchKind.IND_JUMP}
+)
+_TARGET_CACHE_KINDS = frozenset({BranchKind.CALL_INDIRECT, BranchKind.IND_JUMP})
+
+
+class Op(IntEnum):
+    """Guest opcodes."""
+
+    # Integer ALU (class INT)
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLT = 5       #: set-less-than: rd = 1 if rs1 < rs2 else 0
+    ADDI = 6      #: rd = rs1 + imm
+    LI = 7        #: rd = imm
+    # Multiply / divide (classes MUL / DIV)
+    MUL = 8
+    DIV = 9       #: integer divide (toward zero); divide by zero -> 0
+    MOD = 10
+    # Floating point (classes FP_ADD / MUL / DIV)
+    FADD = 11
+    FSUB = 12
+    FMUL = 13
+    FDIV = 14
+    # Bit field (class BITFIELD)
+    SHL = 15
+    SHR = 16
+    SHLI = 17
+    SHRI = 18
+    ANDI = 19
+    XORI = 20
+    # Memory (classes LOAD / STORE)
+    LOAD = 21     #: rd = mem[rs1 + imm]
+    STORE = 22    #: mem[rs1 + imm] = rs2
+    # Control (class BRANCH)
+    BEQ = 23      #: branch to label if rs1 == rs2
+    BNE = 24
+    BLT = 25
+    BGE = 26
+    JMP = 27      #: unconditional direct jump
+    CALL = 28     #: direct call; return address pushed on the VM call stack
+    CALLR = 29    #: indirect call through register rs1
+    RET = 30      #: return to the address on top of the VM call stack
+    JR = 31       #: indirect jump to the address in register rs1
+    HALT = 32     #: stop execution
+
+
+#: Opcode -> timing class.  Branch kinds are derived separately because a
+#: single class (BRANCH) covers several kinds.
+OP_CLASS: Dict[Op, InstrClass] = {
+    Op.ADD: InstrClass.INT,
+    Op.SUB: InstrClass.INT,
+    Op.AND: InstrClass.INT,
+    Op.OR: InstrClass.INT,
+    Op.XOR: InstrClass.INT,
+    Op.SLT: InstrClass.INT,
+    Op.ADDI: InstrClass.INT,
+    Op.LI: InstrClass.INT,
+    Op.MUL: InstrClass.MUL,
+    Op.DIV: InstrClass.DIV,
+    Op.MOD: InstrClass.DIV,
+    Op.FADD: InstrClass.FP_ADD,
+    Op.FSUB: InstrClass.FP_ADD,
+    Op.FMUL: InstrClass.MUL,
+    Op.FDIV: InstrClass.DIV,
+    Op.SHL: InstrClass.BITFIELD,
+    Op.SHR: InstrClass.BITFIELD,
+    Op.SHLI: InstrClass.BITFIELD,
+    Op.SHRI: InstrClass.BITFIELD,
+    Op.ANDI: InstrClass.BITFIELD,
+    Op.XORI: InstrClass.BITFIELD,
+    Op.LOAD: InstrClass.LOAD,
+    Op.STORE: InstrClass.STORE,
+    Op.BEQ: InstrClass.BRANCH,
+    Op.BNE: InstrClass.BRANCH,
+    Op.BLT: InstrClass.BRANCH,
+    Op.BGE: InstrClass.BRANCH,
+    Op.JMP: InstrClass.BRANCH,
+    Op.CALL: InstrClass.BRANCH,
+    Op.CALLR: InstrClass.BRANCH,
+    Op.RET: InstrClass.BRANCH,
+    Op.JR: InstrClass.BRANCH,
+    Op.HALT: InstrClass.BRANCH,
+}
+
+#: Opcode -> static branch kind.
+OP_BRANCH_KIND: Dict[Op, BranchKind] = {
+    Op.BEQ: BranchKind.COND_DIRECT,
+    Op.BNE: BranchKind.COND_DIRECT,
+    Op.BLT: BranchKind.COND_DIRECT,
+    Op.BGE: BranchKind.COND_DIRECT,
+    Op.JMP: BranchKind.UNCOND_DIRECT,
+    Op.CALL: BranchKind.CALL_DIRECT,
+    Op.CALLR: BranchKind.CALL_INDIRECT,
+    Op.RET: BranchKind.RETURN,
+    Op.JR: BranchKind.IND_JUMP,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static guest instruction.
+
+    ``rd`` / ``rs1`` / ``rs2`` are register indices (``-1`` when unused).
+    ``imm`` carries immediates, direct-branch target addresses (after label
+    resolution), and load/store displacements.
+    """
+
+    op: Op
+    rd: int = -1
+    rs1: int = -1
+    rs2: int = -1
+    imm: int = 0
+
+    @property
+    def instr_class(self) -> InstrClass:
+        return OP_CLASS[self.op]
+
+    @property
+    def branch_kind(self) -> BranchKind:
+        return OP_BRANCH_KIND.get(self.op, BranchKind.NOT_BRANCH)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Instruction({self.op.name}, rd={self.rd}, rs1={self.rs1}, "
+            f"rs2={self.rs2}, imm={self.imm})"
+        )
+
+
+@dataclass
+class GuestProgram:
+    """An assembled guest program: code, initial data memory, and labels.
+
+    ``code`` is indexed by ``pc // INSTRUCTION_BYTES``; code starts at
+    address 0.  ``data`` maps word-aligned byte addresses to initial values
+    (the data segment is conventionally placed at :attr:`data_base` and
+    above, far from the code).  ``labels`` maps label names to code
+    addresses, kept for diagnostics and for tests.
+    """
+
+    code: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data_base: int = 0x10000
+    entry: int = 0
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.code)
+
+    def address_of(self, label: str) -> int:
+        """Return the code address a label resolves to."""
+        return self.labels[label]
+
+    def instruction_at(self, pc: int) -> Instruction:
+        index, rem = divmod(pc, INSTRUCTION_BYTES)
+        if rem:
+            raise ValueError(f"misaligned pc {pc:#x}")
+        if not 0 <= index < len(self.code):
+            raise ValueError(f"pc {pc:#x} outside code segment")
+        return self.code[index]
+
+    def static_indirect_jumps(self) -> List[int]:
+        """Addresses of static indirect jumps / indirect calls.
+
+        These are the instructions the target cache predicts; the count per
+        program is one of the calibration targets (gcc-like must have many,
+        perl-like few — see paper §4.2.1).
+        """
+        return [
+            i * INSTRUCTION_BYTES
+            for i, ins in enumerate(self.code)
+            if ins.branch_kind.is_predicted_by_target_cache
+        ]
+
+
+def validate_register(reg: int, *, allow_unused: bool = False) -> int:
+    """Validate a register index, returning it unchanged."""
+    if allow_unused and reg == -1:
+        return reg
+    if not 0 <= reg < NUM_REGISTERS:
+        raise ValueError(f"register index {reg} out of range [0, {NUM_REGISTERS})")
+    return reg
+
+
+def classify_target(pc: int, target: int) -> Tuple[bool, Optional[int]]:
+    """Return (is_forward, distance_words) for a direct branch, for tests."""
+    distance = target - (pc + INSTRUCTION_BYTES)
+    return distance >= 0, distance // INSTRUCTION_BYTES

@@ -1,0 +1,31 @@
+"""Measurement utilities: confidence intervals and paper-comparison helpers.
+
+Our traces are finite samples of endless synthetic workloads, so every
+misprediction rate carries sampling error.  This package quantifies it:
+
+* :func:`~repro.metrics.stats.segment_rates` — per-segment misprediction
+  rates over a trace (the unit of resampling);
+* :func:`~repro.metrics.stats.bootstrap_ci` — percentile-bootstrap
+  confidence interval over those segments;
+* :func:`~repro.metrics.stats.rate_confidence` — end-to-end: trace +
+  engine config -> rate with a CI;
+* :func:`~repro.metrics.compare.shape_match` — the fidelity criterion used
+  by EXPERIMENTS.md (ordering/crossover agreement, not absolute equality).
+"""
+
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    rate_confidence,
+    segment_rates,
+)
+from repro.metrics.compare import orderings_agree, shape_match
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "rate_confidence",
+    "segment_rates",
+    "orderings_agree",
+    "shape_match",
+]

@@ -1,0 +1,57 @@
+"""Paper-vs-measured fidelity criteria.
+
+The reproduction's claim is *shape* fidelity: on synthetic workloads, who
+wins, roughly by how much, and where the crossovers fall — not absolute
+percentages measured on a 1997 testbed.  These helpers make that criterion
+executable, so EXPERIMENTS.md statements are backed by code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def orderings_agree(paper: Sequence[float], measured: Sequence[float],
+                    tolerance: float = 0.0) -> bool:
+    """True when every pairwise ordering in ``paper`` holds in ``measured``.
+
+    ``tolerance`` forgives near-ties: a paper ordering ``a < b`` only needs
+    to hold when ``b - a > tolerance``, and then only up to ``tolerance``
+    slack in the measurement.
+    """
+    if len(paper) != len(measured):
+        raise ValueError("sequences must have equal length")
+    for i in range(len(paper)):
+        for j in range(len(paper)):
+            if paper[i] + tolerance < paper[j]:
+                if measured[i] > measured[j] + tolerance:
+                    return False
+    return True
+
+
+def shape_match(paper: Dict[str, float], measured: Dict[str, float],
+                ratio_band: float = 4.0,
+                ordering_tolerance: float = 0.02) -> Dict[str, bool]:
+    """Compare labelled paper/measured values on the two shape criteria.
+
+    Returns ``{"orderings": ..., "magnitudes": ...}`` where *orderings*
+    checks pairwise ranks (with tolerance) and *magnitudes* checks that
+    each nonzero measured value is within ``ratio_band``x of the paper's.
+    """
+    keys = sorted(paper)
+    if sorted(measured) != keys:
+        raise ValueError("paper and measured must have identical keys")
+    orderings = orderings_agree(
+        [paper[k] for k in keys],
+        [measured[k] for k in keys],
+        tolerance=ordering_tolerance,
+    )
+    magnitudes = True
+    for key in keys:
+        p, m = paper[key], measured[key]
+        if p <= 0 or m <= 0:
+            continue
+        ratio = m / p if m > p else p / m
+        if ratio > ratio_band:
+            magnitudes = False
+    return {"orderings": orderings, "magnitudes": magnitudes}

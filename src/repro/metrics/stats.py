@@ -1,0 +1,102 @@
+"""Sampling-error quantification for misprediction rates.
+
+The predictor simulators are deterministic, but the trace is a finite
+window of an endless workload, so a measured rate is an estimate of the
+workload's long-run rate.  We quantify the uncertainty with a block
+bootstrap: split the trace into contiguous segments (blocks preserve the
+local correlation structure that i.i.d. resampling would destroy), resample
+segments with replacement, and report percentile intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.predictors import EngineConfig, simulate
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}]@{self.confidence:.0%}")
+
+
+def segment_rates(trace: Trace, config: EngineConfig,
+                  n_segments: int = 20) -> List[float]:
+    """Per-segment indirect misprediction rates.
+
+    One simulation over the whole trace (predictor state carries across
+    segment boundaries, as it would in reality); the mask is then scored
+    per contiguous segment.
+    """
+    if n_segments <= 0:
+        raise ValueError("n_segments must be positive")
+    stats = simulate(trace, config, collect_mask=True)
+    mask = stats.mispredict_mask
+    indirect = trace.is_indirect_jump
+    boundaries = np.linspace(0, len(trace), n_segments + 1, dtype=int)
+    rates: List[float] = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        executed = int(indirect[start:end].sum())
+        if executed == 0:
+            continue
+        missed = int((mask[start:end] & indirect[start:end]).sum())
+        rates.append(missed / executed)
+    return rates
+
+
+def bootstrap_ci(samples: List[float], confidence: float = 0.95,
+                 n_resamples: int = 2000,
+                 seed: int = 0) -> ConfidenceInterval:
+    """Percentile bootstrap over per-segment rates."""
+    if not samples:
+        raise ValueError("no samples to bootstrap")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    k = len(samples)
+    means = []
+    for _ in range(n_resamples):
+        resample = [samples[rng.randrange(k)] for _ in range(k)]
+        means.append(sum(resample) / k)
+    means.sort()
+    alpha = (1 - confidence) / 2
+    low_index = int(alpha * n_resamples)
+    high_index = min(n_resamples - 1, int((1 - alpha) * n_resamples))
+    return ConfidenceInterval(
+        estimate=sum(samples) / k,
+        low=means[low_index],
+        high=means[high_index],
+        confidence=confidence,
+    )
+
+
+def rate_confidence(trace: Trace, config: EngineConfig,
+                    n_segments: int = 20, confidence: float = 0.95,
+                    seed: int = 0) -> ConfidenceInterval:
+    """Indirect misprediction rate of ``config`` on ``trace`` with a CI."""
+    return bootstrap_ci(
+        segment_rates(trace, config, n_segments=n_segments),
+        confidence=confidence,
+        seed=seed,
+    )

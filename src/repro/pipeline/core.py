@@ -1,0 +1,167 @@
+"""Cycle-stepped out-of-order core with checkpoint-style recovery.
+
+The faithful (and slow) companion to :mod:`repro.pipeline.timing`: an
+explicit per-cycle loop with fetch, dispatch-into-window, dataflow issue,
+execution countdown and in-order retirement.  Used by the test suite to
+cross-validate the one-pass model and by ``examples/pipeline_speedup.py``.
+
+Semantics mirrored from the paper's §4.1 machine:
+
+* fetch ``fetch_width`` per cycle along the predicted path while the
+  window has space;
+* a mispredicted branch stops fetch at the branch; "once a branch
+  misprediction is determined, instructions from the correct path are
+  fetched in the next cycle" (checkpoint repair);
+* unlimited homogeneous functional units — every instruction whose
+  operands are ready issues;
+* in-order retirement, ``retire_width`` per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.guest.isa import InstrClass
+from repro.pipeline.caches import memory_penalties
+from repro.pipeline.config import MachineConfig
+from repro.trace.trace import Trace
+
+
+@dataclass
+class _Slot:
+    """One window entry."""
+
+    index: int
+    min_issue: int           # fetch + frontend depth
+    producers: List["_Slot"]
+    latency: int
+    is_mispredicted_branch: bool
+    issued: bool = False
+    complete: Optional[int] = None
+
+    def operands_ready(self, cycle: int) -> bool:
+        for producer in self.producers:
+            if producer.complete is None or producer.complete > cycle:
+                return False
+        return True
+
+
+class CycleCore:
+    """Cycle-stepped trace-driven core."""
+
+    def __init__(self, trace: Trace, machine: MachineConfig,
+                 mispredict_mask: Optional[np.ndarray] = None,
+                 mem_penalty: Optional[np.ndarray] = None) -> None:
+        self.trace = trace
+        self.machine = machine
+        n = len(trace)
+        if mem_penalty is None:
+            mem_penalty = memory_penalties(trace, machine)
+        if mispredict_mask is None:
+            mispredict_mask = np.zeros(n, dtype=bool)
+        self._classes = trace.instr_class.tolist()
+        self._src1 = trace.src1.tolist()
+        self._src2 = trace.src2.tolist()
+        self._dst = trace.dst.tolist()
+        self._mem = trace.mem_addr.tolist()
+        self._penalty = mem_penalty.tolist()
+        self._mispredicted = mispredict_mask.tolist()
+        self.cycles = 0
+        self.retired = 0
+
+    def run(self) -> int:
+        """Execute to completion; returns total cycles."""
+        machine = self.machine
+        n = len(self.trace)
+        window: deque = deque()
+        last_writer: Dict[int, _Slot] = {}
+        last_store: Dict[int, _Slot] = {}
+        load_class = int(InstrClass.LOAD)
+        store_class = int(InstrClass.STORE)
+
+        next_fetch = 0              # next trace index to fetch
+        stalled_until = -1          # fetch blocked through this cycle
+        stall_slot: Optional[_Slot] = None  # unresolved mispredicted branch
+        cycle = 0
+
+        while self.retired < n:
+            # ---- retire (completions from previous cycles) --------------
+            retired_now = 0
+            while (window and retired_now < machine.retire_width
+                   and window[0].complete is not None
+                   and window[0].complete <= cycle):
+                window.popleft()
+                self.retired += 1
+                retired_now += 1
+
+            # ---- issue / execute ----------------------------------------
+            for slot in window:
+                if (not slot.issued and slot.min_issue <= cycle
+                        and slot.operands_ready(cycle)):
+                    slot.issued = True
+                    slot.complete = cycle + slot.latency
+
+            # ---- fetch ----------------------------------------------------
+            if cycle > stalled_until:
+                fetched = 0
+                while (fetched < machine.fetch_width and next_fetch < n
+                       and len(window) < machine.window):
+                    index = next_fetch
+                    producers = []
+                    s = self._src1[index]
+                    if s > 0 and s in last_writer:
+                        producers.append(last_writer[s])
+                    s = self._src2[index]
+                    if s > 0 and s in last_writer:
+                        producers.append(last_writer[s])
+                    cls = self._classes[index]
+                    if cls == load_class:
+                        store = last_store.get(self._mem[index])
+                        if store is not None:
+                            producers.append(store)
+                    slot = _Slot(
+                        index=index,
+                        min_issue=cycle + machine.frontend_depth,
+                        producers=producers,
+                        latency=(machine.latency_of(cls) + self._penalty[index]),
+                        is_mispredicted_branch=self._mispredicted[index],
+                    )
+                    d = self._dst[index]
+                    if d > 0:
+                        last_writer[d] = slot
+                    elif cls == store_class:
+                        last_store[self._mem[index]] = slot
+                    window.append(slot)
+                    next_fetch += 1
+                    fetched += 1
+                    if slot.is_mispredicted_branch:
+                        # stop fetching until this branch resolves; its
+                        # resolution cycle is unknown yet, so block fetch
+                        # indefinitely and release below once it completes
+                        stalled_until = 1 << 62
+                        stall_slot = slot
+                        break
+
+            # ---- release the fetch stall when the branch resolves --------
+            if stall_slot is not None and stall_slot.complete is not None:
+                # correct-path fetch restarts the cycle after resolution
+                stalled_until = max(stall_slot.complete, cycle)
+                stall_slot = None
+
+            cycle += 1
+            if cycle > 1000 * n + 10_000:  # liveness guard
+                raise RuntimeError("cycle core failed to make progress")
+
+        self.cycles = cycle
+        return cycle
+
+
+def run_cycle_core(trace: Trace, machine: MachineConfig,
+                   mispredict_mask: Optional[np.ndarray] = None,
+                   mem_penalty: Optional[np.ndarray] = None) -> int:
+    """Run the cycle-stepped core; returns total cycles."""
+    return CycleCore(trace, machine, mispredict_mask, mem_penalty).run()

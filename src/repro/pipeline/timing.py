@@ -1,0 +1,197 @@
+"""Fast one-pass dataflow timing model.
+
+Visits each trace row once in program order and computes its issue,
+completion and retire cycles from:
+
+* **fetch availability** — instructions are fetched ``fetch_width`` per
+  cycle along the predicted path; a mispredicted branch (per the mask from
+  :func:`repro.predictors.engine.simulate`) stalls fetch until the branch
+  resolves, restarting the cycle after (checkpoint repair);
+* **operand readiness** — true register dataflow from the trace's
+  src/dst fields, plus store-to-load forwarding through a last-writer map
+  of memory addresses;
+* **window occupancy** — an instruction cannot enter the machine until the
+  instruction ``window`` slots ahead of it has retired;
+* **retire bandwidth** — in-order retirement, ``retire_width`` per cycle.
+
+This is the standard one-pass approximation of an out-of-order core (no
+wrong-path execution, unlimited functional units as in the paper's §4.1
+"each functional unit can execute instructions from any of the instruction
+classes").  ``repro.pipeline.core`` cross-validates it cycle-by-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.guest.isa import NUM_REGISTERS, InstrClass
+from repro.pipeline.caches import memory_penalties
+from repro.pipeline.config import MachineConfig
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Outcome of one timing run."""
+
+    cycles: int
+    instructions: int
+    #: fetch cycles lost to branch-misprediction redirects
+    mispredict_stall_cycles: int
+    #: loads/stores that missed in the data cache
+    dcache_misses: int
+    #: cycles instructions spent waiting for a window slot (sum over
+    #: instructions of dispatch delay; an approximate CPI-stack component)
+    window_stall_cycles: int = 0
+    #: total extra memory latency injected by data-cache misses (upper
+    #: bound on the memory CPI-stack component — overlap is not deducted)
+    memory_penalty_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def summary(self) -> str:
+        """One-line report with the approximate stall attribution."""
+        return (
+            f"{self.cycles} cycles, IPC {self.ipc:.2f} "
+            f"(mispredict stalls {self.mispredict_stall_cycles}, "
+            f"window stalls {self.window_stall_cycles}, "
+            f"memory penalty {self.memory_penalty_cycles} over "
+            f"{self.dcache_misses} misses)"
+        )
+
+
+def run_timing(trace: Trace, machine: MachineConfig,
+               mispredict_mask: Optional[np.ndarray] = None,
+               mem_penalty: Optional[np.ndarray] = None) -> TimingResult:
+    """Schedule ``trace`` on ``machine``; returns cycle counts.
+
+    ``mispredict_mask`` marks instructions whose next-pc the fetch engine
+    mispredicted (``None`` = perfect prediction).  ``mem_penalty`` is the
+    per-row extra memory latency from :func:`memory_penalties`; it is
+    computed here when not supplied (pass it explicitly when sweeping many
+    predictor configurations over one trace).
+    """
+    n = len(trace)
+    if n == 0:
+        return TimingResult(cycles=0, instructions=0,
+                            mispredict_stall_cycles=0, dcache_misses=0)
+    if mem_penalty is None:
+        mem_penalty = memory_penalties(trace, machine)
+    if mispredict_mask is None:
+        mispredict_mask = np.zeros(n, dtype=bool)
+
+    classes = trace.instr_class.tolist()
+    src1 = trace.src1.tolist()
+    src2 = trace.src2.tolist()
+    dst = trace.dst.tolist()
+    mem_addrs = trace.mem_addr.tolist()
+    penalties = mem_penalty.tolist()
+    mispredicted = mispredict_mask.tolist()
+    latency_by_class = [machine.latency_of(c) for c in range(len(InstrClass))]
+    load_class = int(InstrClass.LOAD)
+    store_class = int(InstrClass.STORE)
+
+    width = machine.fetch_width
+    retire_width = machine.retire_width
+    window = machine.window
+    frontend = machine.frontend_depth
+
+    reg_ready = [0] * NUM_REGISTERS
+    store_ready: Dict[int, int] = {}
+    retire_ring = [0] * window        # retire cycle of instruction i-window
+    retire_recent = [0] * retire_width
+
+    fetch_cycle = 0
+    fetch_slots = 0
+    redirect_at = -1                  # fetch restarts at this cycle
+    mispredict_stalls = 0
+    window_stalls = 0
+    memory_penalty_total = 0
+    dcache_misses = 0
+    last_retire = 0
+
+    for i in range(n):
+        # ---- fetch ----------------------------------------------------
+        if redirect_at >= 0:
+            if redirect_at > fetch_cycle:
+                mispredict_stalls += redirect_at - fetch_cycle
+                fetch_cycle = redirect_at
+                fetch_slots = 0
+            redirect_at = -1
+        if fetch_slots >= width:
+            fetch_cycle += 1
+            fetch_slots = 0
+        fetch_slots += 1
+
+        # ---- dispatch: window occupancy -------------------------------
+        window_free = retire_ring[i % window]  # retire time of i-window
+        dispatch = fetch_cycle + frontend
+        if window_free > dispatch:
+            window_stalls += window_free - dispatch
+            dispatch = window_free
+
+        # ---- operands --------------------------------------------------
+        ready = dispatch
+        s = src1[i]
+        if s > 0 and reg_ready[s] > ready:
+            ready = reg_ready[s]
+        s = src2[i]
+        if s > 0 and reg_ready[s] > ready:
+            ready = reg_ready[s]
+        cls = classes[i]
+        penalty = penalties[i]
+        if penalty:
+            dcache_misses += 1
+            memory_penalty_total += penalty
+        if cls == load_class:
+            forwarded = store_ready.get(mem_addrs[i])
+            if forwarded is not None and forwarded > ready:
+                ready = forwarded
+
+        # ---- execute ---------------------------------------------------
+        complete = ready + latency_by_class[cls] + penalty
+        d = dst[i]
+        if d > 0:
+            reg_ready[d] = complete
+        elif cls == store_class:
+            store_ready[mem_addrs[i]] = complete
+
+        # ---- branch resolution ------------------------------------------
+        if mispredicted[i]:
+            redirect_at = complete + 1
+
+        # ---- in-order retirement ----------------------------------------
+        retire = complete
+        if retire < last_retire:
+            retire = last_retire
+        bandwidth_floor = retire_recent[i % retire_width] + 1
+        if retire < bandwidth_floor:
+            retire = bandwidth_floor
+        retire_recent[i % retire_width] = retire
+        retire_ring[i % window] = retire
+        last_retire = retire
+
+    return TimingResult(
+        cycles=last_retire,
+        instructions=n,
+        mispredict_stall_cycles=mispredict_stalls,
+        dcache_misses=dcache_misses,
+        window_stall_cycles=window_stalls,
+        memory_penalty_cycles=memory_penalty_total,
+    )
+
+
+def execution_cycles(trace: Trace, machine: MachineConfig,
+                     mispredict_mask: Optional[np.ndarray] = None,
+                     mem_penalty: Optional[np.ndarray] = None) -> int:
+    """Convenience wrapper returning just the cycle count."""
+    return run_timing(trace, machine, mispredict_mask, mem_penalty).cycles

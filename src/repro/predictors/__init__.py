@@ -1,0 +1,83 @@
+"""Branch-prediction structures.
+
+This package implements every prediction structure the paper simulates:
+
+* :mod:`~repro.predictors.btb` — 256-set x 4-way branch target buffer with
+  the *default* and Calder/Grunwald *2-bit* target-update strategies
+  (paper §2, Table 2);
+* :mod:`~repro.predictors.ras` — return address stack (paper footnote 1);
+* :mod:`~repro.predictors.direction` — two-level adaptive direction
+  predictors (GAg / GAs / gshare / PAs) for conditional branches;
+* :mod:`~repro.predictors.history` — global pattern history and the path
+  history registers of §3.1 (global with Control / Branch / Call-ret /
+  Ind-jmp filters, and per-address);
+* :mod:`~repro.predictors.target_cache` — the paper's contribution: tagless
+  (§3.2, Figure 10) and tagged (§3.2, Figure 11) target caches;
+* :mod:`~repro.predictors.engine` — the fetch-engine composite that glues
+  the above together exactly as §3 describes, plus the trace-driven
+  simulator that produces misprediction statistics and the mispredict mask
+  consumed by the timing models.
+"""
+
+from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
+from repro.predictors.direction import DirectionPredictor, DirectionConfig
+from repro.predictors.engine import (
+    EngineConfig,
+    FetchEngine,
+    HistoryConfig,
+    HistorySource,
+    PredictionStats,
+    simulate,
+)
+from repro.predictors.history import (
+    PathFilter,
+    PathHistoryRegister,
+    PatternHistoryRegister,
+    PerAddressPathHistory,
+)
+from repro.predictors.indexing import (
+    GAgIndex,
+    GAsIndex,
+    GShareIndex,
+    IndexScheme,
+)
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.target_cache import (
+    OracleTargetPredictor,
+    TaggedIndexing,
+    TaggedTargetCache,
+    TaglessTargetCache,
+    TargetCacheConfig,
+    TargetPredictor,
+    build_target_cache,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "BTBEntry",
+    "UpdateStrategy",
+    "DirectionPredictor",
+    "DirectionConfig",
+    "EngineConfig",
+    "FetchEngine",
+    "HistoryConfig",
+    "HistorySource",
+    "PredictionStats",
+    "simulate",
+    "PathFilter",
+    "PathHistoryRegister",
+    "PatternHistoryRegister",
+    "PerAddressPathHistory",
+    "GAgIndex",
+    "GAsIndex",
+    "GShareIndex",
+    "IndexScheme",
+    "ReturnAddressStack",
+    "OracleTargetPredictor",
+    "TaggedIndexing",
+    "TaggedTargetCache",
+    "TaglessTargetCache",
+    "TargetCacheConfig",
+    "TargetPredictor",
+    "build_target_cache",
+]

@@ -1,0 +1,143 @@
+"""Branch target buffer with the paper's two target-update strategies.
+
+The baseline predictor of the paper's Table 1: a 256-set, 4-way
+set-associative BTB.  "The BTB stores the fall-through and taken address for
+each branch.  For indirect jumps, the taken address is the last computed
+target for the indirect jump" — which is exactly why BTBs mispredict
+polymorphic indirect jumps.
+
+Two target-update strategies are implemented (paper §2, Table 2):
+
+* ``DEFAULT`` — update the stored target on every indirect-jump
+  misprediction;
+* ``TWO_BIT`` — Calder & Grunwald's hysteresis: "does not update a BTB
+  entry's target address until two consecutive predictions with that target
+  address are incorrect".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
+
+
+class UpdateStrategy(Enum):
+    """Target-update policy for indirect branches."""
+
+    DEFAULT = "default"
+    TWO_BIT = "two_bit"
+
+
+@dataclass
+class BTBEntry:
+    """One BTB way: tag plus the prediction payload.
+
+    ``target`` is the taken address (for indirect branches, the last
+    committed target under the active update strategy); ``fallthrough`` is
+    stored so calls can push their return address (paper §1); ``kind`` lets
+    the fetch engine route the branch to the right target source.
+    ``miss_streak`` is the consecutive-misprediction counter used by the
+    2-bit strategy.
+    """
+
+    tag: int
+    target: int
+    fallthrough: int
+    kind: BranchKind
+    miss_streak: int = 0
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with true-LRU replacement.
+
+    Entries are allocated for every executed branch (taken or not), matching
+    the paper's per-branch storage of both addresses.  Lookup is by fetch
+    address; a hit tells the fetch engine the instruction is a branch, its
+    kind, and the stored target.
+    """
+
+    def __init__(self, sets: int = 256, ways: int = 4,
+                 strategy: UpdateStrategy = UpdateStrategy.DEFAULT) -> None:
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError("sets must be a positive power of two")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self.strategy = strategy
+        self._set_mask = sets - 1
+        self._set_bits = sets.bit_length() - 1
+        # Each set is an insertion-ordered dict tag -> BTBEntry; the first
+        # key is the LRU victim.  Hits reinsert to refresh recency.
+        self._storage: List[Dict[int, BTBEntry]] = [dict() for _ in range(sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _locate(self, pc: int):
+        word = pc // INSTRUCTION_BYTES
+        return self._storage[word & self._set_mask], word >> self._set_bits
+
+    def lookup(self, pc: int) -> Optional[BTBEntry]:
+        """Return the entry for ``pc`` (refreshing LRU), or ``None``."""
+        bucket, tag = self._locate(pc)
+        self.lookups += 1
+        entry = bucket.get(tag)
+        if entry is None:
+            return None
+        self.hits += 1
+        del bucket[tag]  # refresh recency: reinsert as newest
+        bucket[tag] = entry
+        return entry
+
+    def update(self, pc: int, kind: BranchKind, target: int,
+               predicted_target_correct: bool = True) -> None:
+        """Record the resolved branch at ``pc``.
+
+        ``target`` is the computed taken-target of this execution.
+        ``predicted_target_correct`` reports whether the *stored* target
+        would have been (or was) correct; the 2-bit strategy needs it to
+        count consecutive misses.
+        """
+        bucket, tag = self._locate(pc)
+        entry = bucket.get(tag)
+        if entry is None:
+            if len(bucket) >= self.ways:
+                oldest_tag = next(iter(bucket))
+                del bucket[oldest_tag]
+            bucket[tag] = BTBEntry(
+                tag=tag,
+                target=target,
+                fallthrough=pc + INSTRUCTION_BYTES,
+                kind=kind,
+            )
+            return
+        del bucket[tag]
+        bucket[tag] = entry  # refresh recency
+        entry.kind = kind
+        if not kind.is_indirect:
+            # Direct branches have a single static target; keep it current
+            # (it never actually changes, but re-writing is harmless).
+            entry.target = target
+            return
+        if predicted_target_correct:
+            entry.miss_streak = 0
+            return
+        if self.strategy is UpdateStrategy.DEFAULT:
+            entry.target = target
+        else:  # TWO_BIT: replace only on the second consecutive miss
+            if entry.miss_streak >= 1:
+                entry.target = target
+                entry.miss_streak = 0
+            else:
+                entry.miss_streak += 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid entries (for tests)."""
+        return sum(len(bucket) for bucket in self._storage)

@@ -1,0 +1,102 @@
+"""Two-level adaptive direction predictors for conditional branches.
+
+The paper's machine model predicts conditional branches with a two-level
+predictor (Yeh & Patt); the target cache then reuses the predictor's global
+branch history register (§3.1: "The target cache can use the branch
+predictor's branch history register").  This module provides the pattern
+history table itself: 2-bit saturating counters indexed by any
+:class:`~repro.predictors.indexing.IndexScheme`, plus a per-address (PAs)
+variant for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.predictors.indexing import IndexScheme, parse_scheme
+
+#: 2-bit saturating counter states; >= _TAKEN_THRESHOLD predicts taken.
+_COUNTER_MAX = 3
+_TAKEN_THRESHOLD = 2
+_INITIAL_COUNTER = 2  # weakly taken, conventional initialisation
+
+
+@dataclass(frozen=True)
+class DirectionConfig:
+    """Configuration for the conditional-branch direction predictor.
+
+    ``scheme`` is ``"gag"``, ``"gas"``, ``"gshare"``, or ``"pas"``.  For
+    ``"pas"``, ``history_bits`` sizes the per-branch history registers and
+    ``address_bits`` sizes the number of pattern tables.
+    """
+
+    scheme: str = "gshare"
+    history_bits: int = 12
+    address_bits: int = 0
+
+    def build(self) -> "DirectionPredictor":
+        return DirectionPredictor(self)
+
+
+class DirectionPredictor:
+    """Pattern-history-table predictor with 2-bit counters.
+
+    The global history register is *owned by the caller* (the fetch engine)
+    and passed into :meth:`predict`/:meth:`update`, because the paper shares
+    one physical register between the direction predictor and the target
+    cache.  The PAs variant keeps its own per-address history registers
+    internally.
+    """
+
+    def __init__(self, config: DirectionConfig) -> None:
+        self.config = config
+        lowered = config.scheme.lower()
+        self._per_address = lowered == "pas"
+        if self._per_address:
+            self._index_scheme: IndexScheme = parse_scheme(
+                "gas", config.history_bits, config.address_bits
+            )
+            self._local_history: Dict[int, int] = {}
+            self._local_mask = (1 << config.history_bits) - 1
+        else:
+            self._index_scheme = parse_scheme(
+                lowered, config.history_bits, config.address_bits
+            )
+        self._counters: List[int] = [_INITIAL_COUNTER] * self._index_scheme.table_size
+
+    @property
+    def table_size(self) -> int:
+        return self._index_scheme.table_size
+
+    def _history_for(self, pc: int, global_history: int) -> int:
+        if self._per_address:
+            return self._local_history.get(pc, 0)
+        return global_history
+
+    def predict(self, pc: int, global_history: int) -> bool:
+        """Predict taken/not-taken for the conditional branch at ``pc``."""
+        history = self._history_for(pc, global_history)
+        index = self._index_scheme.index(pc, history)
+        return self._counters[index] >= _TAKEN_THRESHOLD
+
+    def update(self, pc: int, global_history: int, taken: bool) -> None:
+        """Train the counter that produced the prediction.
+
+        Must be called with the same ``global_history`` value used at
+        :meth:`predict` time (the fetch engine guarantees this by updating
+        the shared history register after the predictor).
+        """
+        history = self._history_for(pc, global_history)
+        index = self._index_scheme.index(pc, history)
+        counter = self._counters[index]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+        if self._per_address:
+            self._local_history[pc] = (
+                (history << 1) | int(bool(taken))
+            ) & self._local_mask

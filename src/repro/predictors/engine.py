@@ -1,0 +1,327 @@
+"""Fetch-engine composite and the trace-driven prediction simulator.
+
+This module wires the structures together exactly as the paper's §3
+describes: "during instruction fetch, the BTB and the target cache are
+examined concurrently.  If the BTB detects an indirect branch, then the
+selected target cache entry is used for target prediction.  When the
+indirect branch is resolved, the target cache entry is updated with its
+target address."
+
+Per dynamic branch the engine:
+
+1. looks up the BTB; a miss predicts fall-through (the fetch hardware does
+   not know the instruction is a branch);
+2. on a hit, routes by the stored branch kind — conditional branches go to
+   the two-level direction predictor, returns to the RAS, direct jumps and
+   calls to the BTB target, and indirect jumps/calls to the target cache
+   (falling back to the BTB's last-target on a target-cache structural
+   miss);
+3. at resolve time updates, in order: the direction predictor (with the
+   same history used to predict), the shared pattern history register, the
+   global path history register, the per-address path history, the target
+   cache (with the history value captured at prediction time — "the target
+   cache is accessed again using index A"), the BTB, and the RAS.
+
+The simulation is in retire order with no wrong-path pollution; for the
+non-speculative sweeps of the paper's tables the fetch-time and retire-time
+history contents coincide.  The speculative-update variant is exercised by
+the cycle-stepped pipeline model (``repro.pipeline.core``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
+from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
+from repro.predictors.direction import DirectionConfig, DirectionPredictor
+from repro.predictors.history import (
+    PathFilter,
+    PathHistoryRegister,
+    PatternHistoryRegister,
+    PerAddressPathHistory,
+)
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.target_cache import (
+    OracleTargetPredictor,
+    TargetCacheConfig,
+    build_target_cache,
+)
+from repro.trace.trace import Trace
+
+
+class HistorySource(Enum):
+    """Which history value indexes the target cache (paper §3.1)."""
+
+    PATTERN = "pattern"
+    PATH_GLOBAL = "path_global"
+    PATH_PER_ADDRESS = "path_per_address"
+
+
+@dataclass(frozen=True)
+class HistoryConfig:
+    """History supplied to the target cache.
+
+    ``bits`` is the register width.  For path histories,
+    ``bits_per_target`` and ``address_bit`` control how many bits of each
+    destination address are recorded and from which bit position (paper
+    Tables 5 and 6); ``path_filter`` selects the global variant (paper
+    §3.1: Control / Branch / Call-ret / Ind-jmp).
+    """
+
+    source: HistorySource = HistorySource.PATTERN
+    bits: int = 9
+    bits_per_target: int = 1
+    address_bit: int = 2
+    path_filter: PathFilter = PathFilter.CONTROL
+
+    def describe(self) -> str:
+        if self.source is HistorySource.PATTERN:
+            return f"pattern({self.bits})"
+        if self.source is HistorySource.PATH_PER_ADDRESS:
+            return f"path-per-addr({self.bits}b/{self.bits_per_target}bpt)"
+        return (
+            f"path-{self.path_filter.value}({self.bits}b/"
+            f"{self.bits_per_target}bpt@{self.address_bit})"
+        )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Full fetch-engine configuration for one experiment cell."""
+
+    btb_sets: int = 256
+    btb_ways: int = 4
+    btb_strategy: UpdateStrategy = UpdateStrategy.DEFAULT
+    direction: DirectionConfig = field(default_factory=DirectionConfig)
+    ras_depth: int = 32
+    target_cache: Optional[TargetCacheConfig] = None
+    history: HistoryConfig = field(default_factory=HistoryConfig)
+    #: Ablation: route returns through the target cache instead of the RAS
+    #: (the paper's footnote 1 argues this is unnecessary).
+    target_cache_handles_returns: bool = False
+
+
+@dataclass
+class KindCounters:
+    executed: int = 0
+    mispredicted: int = 0
+
+    @property
+    def rate(self) -> float:
+        return self.mispredicted / self.executed if self.executed else 0.0
+
+
+@dataclass
+class PredictionStats:
+    """Outcome of one trace-driven prediction run."""
+
+    instructions: int = 0
+    per_kind: Dict[BranchKind, KindCounters] = field(default_factory=dict)
+    btb_lookups: int = 0
+    btb_hits: int = 0
+    #: per-instruction mask aligned to the full trace: True where this
+    #: instruction's next-pc was mispredicted (consumed by the timing model)
+    mispredict_mask: Optional[np.ndarray] = None
+
+    def counters(self, kind: BranchKind) -> KindCounters:
+        return self.per_kind.setdefault(kind, KindCounters())
+
+    @property
+    def branches(self) -> int:
+        return sum(c.executed for c in self.per_kind.values())
+
+    @property
+    def branch_mispredictions(self) -> int:
+        return sum(c.mispredicted for c in self.per_kind.values())
+
+    @property
+    def indirect_jumps(self) -> int:
+        return (
+            self.counters(BranchKind.IND_JUMP).executed
+            + self.counters(BranchKind.CALL_INDIRECT).executed
+        )
+
+    @property
+    def indirect_mispredictions(self) -> int:
+        return (
+            self.counters(BranchKind.IND_JUMP).mispredicted
+            + self.counters(BranchKind.CALL_INDIRECT).mispredicted
+        )
+
+    @property
+    def indirect_mispred_rate(self) -> float:
+        executed = self.indirect_jumps
+        return self.indirect_mispredictions / executed if executed else 0.0
+
+    @property
+    def conditional_mispred_rate(self) -> float:
+        return self.counters(BranchKind.COND_DIRECT).rate
+
+    @property
+    def overall_mispred_rate(self) -> float:
+        branches = self.branches
+        return self.branch_mispredictions / branches if branches else 0.0
+
+
+class FetchEngine:
+    """Stateful composite of all prediction structures.
+
+    Use :func:`simulate` to run a whole trace; the engine itself exposes
+    :meth:`process_branch` so the cycle-stepped pipeline can drive it one
+    branch at a time with speculative history management.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+        self.btb = BranchTargetBuffer(
+            sets=config.btb_sets, ways=config.btb_ways, strategy=config.btb_strategy
+        )
+        self.direction = DirectionPredictor(config.direction)
+        self.ras = ReturnAddressStack(depth=config.ras_depth)
+        self.target_cache = (
+            build_target_cache(config.target_cache)
+            if config.target_cache is not None
+            else None
+        )
+        history = config.history
+        pattern_bits = max(config.direction.history_bits, history.bits)
+        self.pattern_history = PatternHistoryRegister(pattern_bits)
+        self.path_history = PathHistoryRegister(
+            bits=history.bits,
+            bits_per_target=history.bits_per_target,
+            address_bit=history.address_bit,
+            path_filter=history.path_filter,
+        )
+        self.per_address_history = PerAddressPathHistory(
+            bits=history.bits,
+            bits_per_target=history.bits_per_target,
+            address_bit=history.address_bit,
+        )
+        self._oracle = isinstance(self.target_cache, OracleTargetPredictor)
+
+    # ------------------------------------------------------------------
+    def target_cache_history(self, pc: int) -> int:
+        """The history value that indexes the target cache for jump ``pc``."""
+        source = self.config.history.source
+        if source is HistorySource.PATTERN:
+            return self.pattern_history.value
+        if source is HistorySource.PATH_GLOBAL:
+            return self.path_history.value
+        return self.per_address_history.value(pc)
+
+    def _uses_target_cache(self, kind: BranchKind) -> bool:
+        if self.target_cache is None:
+            return False
+        if kind.is_predicted_by_target_cache:
+            return True
+        return kind is BranchKind.RETURN and self.config.target_cache_handles_returns
+
+    # ------------------------------------------------------------------
+    def process_branch(self, pc: int, kind: BranchKind, taken: bool,
+                       target: int, next_pc: int) -> bool:
+        """Predict and then resolve one dynamic branch; return mispredict.
+
+        ``target`` is the computed taken-target, ``next_pc`` the address
+        actually executed next.
+        """
+        fallthrough = pc + INSTRUCTION_BYTES
+        entry = self.btb.lookup(pc)
+        history_for_tc = 0
+        popped_ras = False
+
+        if entry is None:
+            predicted = fallthrough
+        else:
+            entry_kind = entry.kind
+            if entry_kind is BranchKind.COND_DIRECT:
+                if self.direction.predict(pc, self.pattern_history.value):
+                    predicted = entry.target
+                else:
+                    predicted = fallthrough
+            elif entry_kind is BranchKind.RETURN and not self.config.target_cache_handles_returns:
+                popped = self.ras.pop()
+                popped_ras = True
+                predicted = popped if popped is not None else fallthrough
+            elif self._uses_target_cache(entry_kind):
+                history_for_tc = self.target_cache_history(pc)
+                if self._oracle:
+                    self.target_cache.prime(target)  # type: ignore[union-attr]
+                guess = self.target_cache.predict(pc, history_for_tc)  # type: ignore[union-attr]
+                predicted = guess if guess is not None else entry.target
+            else:
+                # Direct jumps/calls, and indirect ones without a target
+                # cache: the BTB's stored (last) target.
+                predicted = entry.target
+            if entry_kind.is_call:
+                self.ras.push(entry.fallthrough)
+
+        mispredicted = predicted != next_pc
+
+        # ----- resolve-time updates, in the order listed in the module doc
+        if kind is BranchKind.COND_DIRECT:
+            self.direction.update(pc, self.pattern_history.value, taken)
+            self.pattern_history.update(taken)
+        self.path_history.update(kind, next_pc, redirected=taken)
+        if kind.is_predicted_by_target_cache:
+            self.per_address_history.update(pc, target)
+        if self._uses_target_cache(kind):
+            if entry is None:
+                # The BTB did not identify the jump, so no fetch-time access
+                # happened; index with the history as of now (identical in
+                # this in-order simulation).
+                history_for_tc = self.target_cache_history(pc)
+            self.target_cache.update(pc, history_for_tc, target)  # type: ignore[union-attr]
+        if kind is BranchKind.RETURN and not popped_ras:
+            # The BTB missed on this return, so fetch never consumed the
+            # RAS; consume it now to keep call/return pairing balanced.
+            self.ras.pop()
+        if kind.is_call and entry is None:
+            self.ras.push(fallthrough)
+        stored_target_correct = entry is not None and entry.target == target
+        self.btb.update(pc, kind, target, predicted_target_correct=stored_target_correct)
+        return mispredicted
+
+
+def simulate(trace: Trace, config: EngineConfig,
+             collect_mask: bool = False) -> PredictionStats:
+    """Run ``trace`` through a fresh :class:`FetchEngine`.
+
+    Only control-flow rows touch predictor state, so the loop walks just
+    those; ``collect_mask=True`` additionally materialises the full-length
+    per-instruction mispredict mask the timing model needs.
+    """
+    engine = FetchEngine(config)
+    stats = PredictionStats(instructions=len(trace))
+    mask = np.zeros(len(trace), dtype=bool) if collect_mask else None
+
+    branch_rows = np.flatnonzero(trace.is_branch)
+    pcs = trace.pc[branch_rows].tolist()
+    kinds = trace.branch_kind[branch_rows].tolist()
+    takens = trace.taken[branch_rows].tolist()
+    targets = trace.target[branch_rows].tolist()
+    next_pcs = trace.next_pc_array()[branch_rows].tolist()
+    rows = branch_rows.tolist()
+
+    process = engine.process_branch
+    counters = {kind: stats.counters(kind) for kind in BranchKind}
+    for row, pc, kind_value, taken, target, next_pc in zip(
+        rows, pcs, kinds, takens, targets, next_pcs
+    ):
+        kind = BranchKind(kind_value)
+        mispredicted = process(pc, kind, bool(taken), target, next_pc)
+        counter = counters[kind]
+        counter.executed += 1
+        if mispredicted:
+            counter.mispredicted += 1
+            if mask is not None:
+                mask[row] = True
+
+    stats.btb_lookups = engine.btb.lookups
+    stats.btb_hits = engine.btb.hits
+    stats.mispredict_mask = mask
+    return stats

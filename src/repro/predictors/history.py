@@ -1,0 +1,176 @@
+"""Branch-history registers: pattern history and path history (paper §3.1).
+
+Two kinds of history can index a target cache:
+
+* **Pattern history** — "a recording of the last n conditional branches"
+  (their taken/not-taken outcomes), the same global branch history register
+  the two-level direction predictor maintains, so "no extra hardware is
+  required".
+* **Path history** — "the target addresses of branches that lead to the
+  current branch".  A register of ``bits`` total bits receives
+  ``bits_per_target`` low-order bits from each qualifying instruction's
+  destination address; since guest instructions are word aligned, the two
+  alignment zeros are skipped by default and the paper's Table 5 studies
+  which bit offset works best (``address_bit`` here).
+
+Path history comes in a *global* flavour, filtered by the kind of
+instruction recorded (Control / Branch / Call-ret / Ind-jmp — paper §3.1),
+and a *per-address* flavour where "one path history register is associated
+with each distinct static indirect branch" and records that jump's own last
+targets.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+from repro.guest.isa import BranchKind
+
+
+class PatternHistoryRegister:
+    """Global history of conditional-branch outcomes, newest bit lowest."""
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def update(self, taken: bool) -> None:
+        self.value = ((self.value << 1) | int(bool(taken))) & self._mask
+
+    def snapshot(self) -> int:
+        """Checkpoint for speculative-repair experiments."""
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        self.value = snapshot & self._mask
+
+    def __repr__(self) -> str:
+        return f"PatternHistoryRegister(bits={self.bits}, value={self.value:#x})"
+
+
+class PathFilter(Enum):
+    """Which instructions contribute to a global path history (paper §3.1).
+
+    * ``CONTROL`` — every instruction that can redirect the stream;
+    * ``BRANCH`` — conditional branches only;
+    * ``CALL_RET`` — procedure calls and returns only;
+    * ``IND_JMP`` — indirect jumps (and indirect calls) only.
+    """
+
+    CONTROL = "control"
+    BRANCH = "branch"
+    CALL_RET = "call_ret"
+    IND_JMP = "ind_jmp"
+
+    def accepts(self, kind: BranchKind) -> bool:
+        if self is PathFilter.CONTROL:
+            return kind.redirects_stream
+        if self is PathFilter.BRANCH:
+            return kind is BranchKind.COND_DIRECT
+        if self is PathFilter.CALL_RET:
+            return kind.is_call or kind is BranchKind.RETURN
+        return kind.is_predicted_by_target_cache  # IND_JMP
+
+
+class PathHistoryRegister:
+    """Fixed-width shift register of destination-address fragments.
+
+    Each qualifying instruction shifts ``bits_per_target`` bits of its
+    destination address (the address the instruction stream actually went
+    to) into the register, after discarding ``address_bit`` low bits.  The
+    paper records taken targets; for a not-taken conditional branch the
+    destination is the fall-through address, which still identifies the path
+    (Nair-style path history).
+    """
+
+    def __init__(self, bits: int, bits_per_target: int = 1, address_bit: int = 2,
+                 path_filter: PathFilter = PathFilter.CONTROL) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if not 1 <= bits_per_target <= bits:
+            raise ValueError("bits_per_target must be in [1, bits]")
+        if address_bit < 0:
+            raise ValueError("address_bit must be non-negative")
+        self.bits = bits
+        self.bits_per_target = bits_per_target
+        self.address_bit = address_bit
+        self.path_filter = path_filter
+        self._mask = (1 << bits) - 1
+        self._target_mask = (1 << bits_per_target) - 1
+        self.value = 0
+
+    @property
+    def targets_recorded(self) -> int:
+        """How many past destinations the register can distinguish."""
+        return self.bits // self.bits_per_target
+
+    def update(self, kind: BranchKind, destination: int,
+               redirected: bool = True) -> None:
+        """Record ``destination`` if ``kind`` passes the filter.
+
+        ``redirected`` is False for a not-taken conditional branch: the
+        paper's path history records *target addresses*, so a branch that
+        falls through contributes nothing.
+        """
+        if not redirected or not self.path_filter.accepts(kind):
+            return
+        fragment = (destination >> self.address_bit) & self._target_mask
+        self.value = ((self.value << self.bits_per_target) | fragment) & self._mask
+
+    def force_update(self, destination: int) -> None:
+        """Record unconditionally (used by the per-address scheme)."""
+        fragment = (destination >> self.address_bit) & self._target_mask
+        self.value = ((self.value << self.bits_per_target) | fragment) & self._mask
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        self.value = snapshot & self._mask
+
+    def __repr__(self) -> str:
+        return (
+            f"PathHistoryRegister(bits={self.bits}, "
+            f"bits_per_target={self.bits_per_target}, "
+            f"address_bit={self.address_bit}, filter={self.path_filter.value})"
+        )
+
+
+class PerAddressPathHistory:
+    """One path-history register per static indirect branch (paper §3.1).
+
+    "Each n-bit path history register records the last k target addresses
+    for the associated indirect jump" — i.e. the register for jump *J* holds
+    fragments of *J*'s own previous targets.
+    """
+
+    def __init__(self, bits: int, bits_per_target: int = 1, address_bit: int = 2) -> None:
+        self.bits = bits
+        self.bits_per_target = bits_per_target
+        self.address_bit = address_bit
+        self._registers: Dict[int, PathHistoryRegister] = {}
+
+    def _register_for(self, pc: int) -> PathHistoryRegister:
+        register = self._registers.get(pc)
+        if register is None:
+            register = PathHistoryRegister(
+                self.bits, self.bits_per_target, self.address_bit
+            )
+            self._registers[pc] = register
+        return register
+
+    def value(self, pc: int) -> int:
+        register = self._registers.get(pc)
+        return register.value if register is not None else 0
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved target of the indirect jump at ``pc``."""
+        self._register_for(pc).force_update(target)
+
+    @property
+    def tracked_jumps(self) -> int:
+        return len(self._registers)

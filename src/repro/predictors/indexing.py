@@ -1,0 +1,102 @@
+"""Index schemes shared by the two-level predictors and the tagless target
+cache.
+
+The paper's §4.2.1 compares three ways of hashing the fetch address and the
+branch history into a 512-entry tagless target cache:
+
+* **GAg(h)** — history bits alone select the entry;
+* **GAs(h, a)** — the cache is "conceptually partitioned into several
+  tables": ``a`` address bits select the table, ``h`` history bits select
+  the entry within it;
+* **gshare(h)** — address XOR history, "effectively utilizes more of the
+  entries".
+
+The same schemes index the pattern history tables of the two-level direction
+predictors, so they live in one module.  Addresses are word-aligned; the two
+zero low bits are dropped before hashing (paper §4.2.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.guest.isa import INSTRUCTION_BYTES
+
+_ADDR_SHIFT = INSTRUCTION_BYTES.bit_length() - 1  # drop alignment zeros
+
+
+class IndexScheme(ABC):
+    """Maps (fetch address, history value) to a table index."""
+
+    #: number of entries the scheme addresses
+    table_size: int
+
+    @abstractmethod
+    def index(self, pc: int, history: int) -> int:
+        """Return the table index for this (address, history) pair."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(table_size={self.table_size})"
+
+
+class GAgIndex(IndexScheme):
+    """History-only indexing: ``index = history mod 2**history_bits``."""
+
+    def __init__(self, history_bits: int) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self.table_size = 1 << history_bits
+        self._mask = self.table_size - 1
+
+    def index(self, pc: int, history: int) -> int:
+        return history & self._mask
+
+
+class GAsIndex(IndexScheme):
+    """Partitioned indexing: address bits pick the table, history bits pick
+    the entry within it — GAs(history_bits, address_bits) in the paper."""
+
+    def __init__(self, history_bits: int, address_bits: int) -> None:
+        if history_bits <= 0 or address_bits < 0:
+            raise ValueError("need history_bits > 0 and address_bits >= 0")
+        self.history_bits = history_bits
+        self.address_bits = address_bits
+        self.table_size = 1 << (history_bits + address_bits)
+        self._hist_mask = (1 << history_bits) - 1
+        self._addr_mask = (1 << address_bits) - 1
+
+    def index(self, pc: int, history: int) -> int:
+        word = pc >> _ADDR_SHIFT
+        return ((word & self._addr_mask) << self.history_bits) | (
+            history & self._hist_mask
+        )
+
+
+class GShareIndex(IndexScheme):
+    """XOR indexing: ``index = (pc_word ^ history) mod 2**history_bits``."""
+
+    def __init__(self, history_bits: int) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self.table_size = 1 << history_bits
+        self._mask = self.table_size - 1
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc >> _ADDR_SHIFT) ^ history) & self._mask
+
+
+def parse_scheme(name: str, history_bits: int, address_bits: int = 0) -> IndexScheme:
+    """Build an index scheme from a config-friendly name.
+
+    ``name`` is one of ``"gag"``, ``"gas"``, ``"gshare"`` (case-insensitive).
+    """
+    lowered = name.lower()
+    if lowered == "gag":
+        return GAgIndex(history_bits)
+    if lowered == "gas":
+        return GAsIndex(history_bits, address_bits)
+    if lowered == "gshare":
+        return GShareIndex(history_bits)
+    raise ValueError(f"unknown index scheme {name!r}")

@@ -1,0 +1,46 @@
+"""Return address stack.
+
+The paper excludes returns from the target cache "because they are
+effectively handled with the return address stack" (footnote 1, citing Webb
+and Kaeli/Emma).  This is that structure: a fixed-depth hardware stack; calls
+push their fall-through address, returns pop the prediction.  On overflow the
+oldest entry is dropped (circular behaviour), which is how real RAS hardware
+degrades on deep recursion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth stack of return addresses."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: deque = deque(maxlen=depth)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the fall-through address of a call."""
+        self._stack.append(return_address)
+        self.pushes += 1
+
+    def pop(self) -> Optional[int]:
+        """Predict the target of a return; ``None`` on underflow."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,47 @@
+"""The target cache — the paper's contribution (§3).
+
+A target cache records, per (indirect-jump address, branch history) pair,
+the computed target seen the last time that pair occurred.  "The target
+cache improves on the prediction accuracy achieved by BTB-based schemes for
+indirect jumps by choosing its prediction from (usually) all the targets of
+the indirect jump that have already been encountered rather than just the
+target that was most recently encountered."
+
+Two storage organisations:
+
+* :class:`TaglessTargetCache` (§3.2, Figure 10) — like a pattern history
+  table that stores targets instead of 2-bit counters; subject to
+  interference between branches that hash to the same entry.
+* :class:`TaggedTargetCache` (§3.2, Figure 11) — set-associative with tag
+  match, eliminating cross-branch interference at the cost of capacity and
+  of conflict misses at low associativity.
+
+:class:`OracleTargetPredictor` supplies a perfect-prediction upper bound,
+and :class:`TargetCacheConfig` + :func:`build_target_cache` give experiments
+a declarative way to request any variant in the paper's design space.
+"""
+
+from repro.predictors.target_cache.base import TargetPredictor
+from repro.predictors.target_cache.cascaded import CascadedTargetCache
+from repro.predictors.target_cache.ittage import ITTageLite, fold_history
+from repro.predictors.target_cache.tagless import TaglessTargetCache
+from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
+from repro.predictors.target_cache.oracle import (
+    LastTargetPredictor,
+    OracleTargetPredictor,
+)
+from repro.predictors.target_cache.config import TargetCacheConfig, build_target_cache
+
+__all__ = [
+    "TargetPredictor",
+    "CascadedTargetCache",
+    "ITTageLite",
+    "fold_history",
+    "TaglessTargetCache",
+    "TaggedIndexing",
+    "TaggedTargetCache",
+    "LastTargetPredictor",
+    "OracleTargetPredictor",
+    "TargetCacheConfig",
+    "build_target_cache",
+]

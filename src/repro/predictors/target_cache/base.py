@@ -1,0 +1,30 @@
+"""Abstract interface shared by every target-prediction structure."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class TargetPredictor(ABC):
+    """Predicts the destination of an indirect jump.
+
+    The fetch engine calls :meth:`predict` when the BTB identifies an
+    indirect jump at ``pc``; ``history`` is whatever history value the
+    engine's :class:`~repro.predictors.engine.HistoryConfig` selects (global
+    pattern history, a filtered global path history, or the jump's
+    per-address path history).  When the jump retires, :meth:`update` is
+    called **with the same history value** ("the target cache is accessed
+    again using index A", §1) and the computed target.
+    """
+
+    @abstractmethod
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        """Return the predicted target, or ``None`` on a structural miss."""
+
+    @abstractmethod
+    def update(self, pc: int, history: int, target: int) -> None:
+        """Record the computed ``target`` for this (pc, history) pair."""
+
+    def reset(self) -> None:  # pragma: no cover - overridden where stateful
+        """Clear all learned state (optional for subclasses)."""

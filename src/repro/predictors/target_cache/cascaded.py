@@ -1,0 +1,64 @@
+"""Cascaded target prediction (extension beyond the paper).
+
+Driesen & Hölzle's follow-on work to the target cache observed that most
+static indirect jumps are *monomorphic* — a plain last-target predictor
+handles them perfectly — so the expensive history-indexed table should be
+reserved ("filtered") for the jumps that actually change targets.  This
+module implements that two-stage cascade on top of this repository's
+primitives, as the kind of extension study the paper's design enables:
+
+* **stage 1** — a last-target filter (functionally the BTB the machine
+  already has);
+* **stage 2** — any history-indexed :class:`TargetPredictor` (typically a
+  small tagged cache).  A jump is promoted to stage 2 the first time its
+  target *changes*; from then on stage 2 predicts it (falling back to
+  stage 1 on a structural miss), and only promoted jumps consume stage-2
+  capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.predictors.target_cache.base import TargetPredictor
+
+
+class CascadedTargetCache(TargetPredictor):
+    """Two-stage filter + history-indexed predictor."""
+
+    def __init__(self, stage2: TargetPredictor) -> None:
+        self.stage2 = stage2
+        self._last_target: Dict[int, int] = {}
+        self._polymorphic: Set[int] = set()
+        self.stage2_predictions = 0
+        self.stage1_predictions = 0
+
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        if pc in self._polymorphic:
+            guess = self.stage2.predict(pc, history)
+            if guess is not None:
+                self.stage2_predictions += 1
+                return guess
+        self.stage1_predictions += 1
+        return self._last_target.get(pc)
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        previous = self._last_target.get(pc)
+        if previous is not None and previous != target:
+            self._polymorphic.add(pc)
+        if pc in self._polymorphic:
+            self.stage2.update(pc, history, target)
+        self._last_target[pc] = target
+
+    def reset(self) -> None:
+        self._last_target.clear()
+        self._polymorphic.clear()
+        self.stage2.reset()
+
+    @property
+    def promoted_jumps(self) -> int:
+        """Static jumps that have been promoted to stage 2."""
+        return len(self._polymorphic)
+
+    def __repr__(self) -> str:
+        return f"CascadedTargetCache(stage2={self.stage2!r})"

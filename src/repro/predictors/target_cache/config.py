@@ -1,0 +1,105 @@
+"""Declarative configuration covering the paper's target-cache design space.
+
+Experiments describe a target cache as data (so sweeps are dictionaries of
+configs, and results are reproducible from the config alone) and call
+:func:`build_target_cache` to instantiate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.predictors.indexing import parse_scheme
+from repro.predictors.target_cache.base import TargetPredictor
+from repro.predictors.target_cache.cascaded import CascadedTargetCache
+from repro.predictors.target_cache.ittage import ITTageLite
+from repro.predictors.target_cache.oracle import (
+    LastTargetPredictor,
+    OracleTargetPredictor,
+)
+from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
+from repro.predictors.target_cache.tagless import TaglessTargetCache
+
+
+@dataclass(frozen=True)
+class TargetCacheConfig:
+    """One point in the target-cache design space.
+
+    ``kind`` selects the organisation:
+
+    * ``"tagless"`` — ``scheme`` (gag/gas/gshare), ``history_bits``,
+      ``address_bits`` define the index; table size is 2**(history_bits +
+      address_bits), i.e. 512 entries for the paper's 9-bit configurations.
+    * ``"tagged"`` — ``entries``/``assoc``/``indexing``/``history_bits``/
+      ``tag_bits``/``replacement`` as in
+      :class:`~repro.predictors.target_cache.tagged.TaggedTargetCache`.
+    * ``"cascaded"`` — a last-target filter in front of a *tagged* second
+      stage built from the tagged parameters (extension beyond the paper;
+      see :mod:`repro.predictors.target_cache.cascaded`).
+    * ``"ittage"`` — ITTAGE-lite, the modern multi-table descendant
+      (``history_bits`` caps the folded history; table geometry uses
+      ``entries`` as the per-component size, assoc ignored).
+    * ``"oracle"`` / ``"last_target"`` — bounding predictors.
+    """
+
+    kind: str = "tagless"
+    # tagless parameters
+    scheme: str = "gshare"
+    history_bits: int = 9
+    address_bits: int = 0
+    # tagged parameters
+    entries: int = 256
+    assoc: int = 4
+    indexing: TaggedIndexing = TaggedIndexing.HISTORY_XOR
+    tag_bits: Optional[int] = None
+    replacement: str = "lru"
+
+    def label(self) -> str:
+        """Human-readable name used in experiment tables."""
+        if self.kind == "tagless":
+            if self.scheme == "gas":
+                return f"GAs({self.history_bits},{self.address_bits})"
+            if self.scheme == "gag":
+                return f"GAg({self.history_bits})"
+            return f"gshare({self.history_bits})"
+        if self.kind == "tagged":
+            return (
+                f"tagged({self.entries}e/{self.assoc}w/"
+                f"{self.indexing.value}/h{self.history_bits})"
+            )
+        return self.kind
+
+
+def build_target_cache(config: TargetCacheConfig) -> TargetPredictor:
+    """Instantiate the predictor a :class:`TargetCacheConfig` describes."""
+    if config.kind == "tagless":
+        scheme = parse_scheme(config.scheme, config.history_bits, config.address_bits)
+        return TaglessTargetCache(scheme)
+    if config.kind == "tagged":
+        return TaggedTargetCache(
+            entries=config.entries,
+            assoc=config.assoc,
+            indexing=config.indexing,
+            history_bits=config.history_bits,
+            tag_bits=config.tag_bits,
+            replacement=config.replacement,
+        )
+    if config.kind == "cascaded":
+        stage2 = TaggedTargetCache(
+            entries=config.entries,
+            assoc=config.assoc,
+            indexing=config.indexing,
+            history_bits=config.history_bits,
+            tag_bits=config.tag_bits,
+            replacement=config.replacement,
+        )
+        return CascadedTargetCache(stage2)
+    if config.kind == "ittage":
+        table_bits = max(4, config.entries.bit_length() - 1)
+        return ITTageLite(table_bits=table_bits)
+    if config.kind == "oracle":
+        return OracleTargetPredictor()
+    if config.kind == "last_target":
+        return LastTargetPredictor()
+    raise ValueError(f"unknown target-cache kind {config.kind!r}")

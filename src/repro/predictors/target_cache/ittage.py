@@ -1,0 +1,164 @@
+"""ITTAGE-lite: the target cache's modern descendant (extension).
+
+The target cache fixed *one* history length per implementation; Seznec's
+ITTAGE (2011) — today's standard indirect predictor in gem5/ChampSim-class
+simulators — keeps several tagged tables indexed with geometrically
+increasing history lengths and predicts from the longest-history hit, so
+each jump gets as much context as it needs and no more.
+
+This is a deliberately small ("lite") but faithful skeleton of that design
+on this repository's primitives:
+
+* a base last-target table indexed by pc (the fallback);
+* N tagged components; component *i* folds the youngest ``lengths[i]`` bits
+  of the global history into its index and tag;
+* prediction: the hit with the longest history wins;
+* update: the providing component trains its confidence counter; on a
+  misprediction a new entry is allocated into one longer-history component
+  (replacing only low-confidence victims), and the provider's target is
+  replaced once its confidence drains.
+
+The fetch engine supplies history through the ordinary
+:class:`~repro.predictors.engine.HistoryConfig`; configure a wide register
+(e.g. 64-bit path history) so the longer components have real bits to fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.guest.isa import INSTRUCTION_BYTES
+from repro.predictors.target_cache.base import TargetPredictor
+
+_ADDR_SHIFT = INSTRUCTION_BYTES.bit_length() - 1
+
+
+def fold_history(history: int, length: int, bits: int) -> int:
+    """Fold the youngest ``length`` history bits into a ``bits``-wide hash."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    value = history & ((1 << length) - 1) if length < 64 else history
+    folded = 0
+    while value:
+        folded ^= value & ((1 << bits) - 1)
+        value >>= bits
+    return folded
+
+
+@dataclass
+class _Entry:
+    tag: int
+    target: int
+    confidence: int = 1  # saturating 0..3
+
+
+class ITTageLite(TargetPredictor):
+    """Multi-table geometric-history indirect target predictor."""
+
+    CONF_MAX = 3
+
+    def __init__(self, table_bits: int = 7, tag_bits: int = 9,
+                 lengths: Tuple[int, ...] = (4, 8, 16, 32),
+                 seed: int = 0) -> None:
+        if not lengths or list(lengths) != sorted(lengths):
+            raise ValueError("lengths must be a non-empty ascending tuple")
+        self.table_bits = table_bits
+        self.tag_bits = tag_bits
+        self.lengths = tuple(lengths)
+        self._index_mask = (1 << table_bits) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._tables: List[Dict[int, _Entry]] = [dict() for _ in lengths]
+        self._base: Dict[int, int] = {}
+        self._rng_state = seed * 2654435761 % (1 << 32) or 1
+        self.provider_hits = [0] * len(lengths)
+        self.base_hits = 0
+
+    @property
+    def total_entries(self) -> int:
+        """Hardware budget: component capacity plus nothing for the base
+        (the BTB plays that role in a real machine)."""
+        return len(self.lengths) * (1 << self.table_bits)
+
+    # ------------------------------------------------------------------
+    def _locate(self, component: int, pc: int, history: int) -> Tuple[int, int]:
+        word = pc >> _ADDR_SHIFT
+        length = self.lengths[component]
+        folded_index = fold_history(history, length, self.table_bits)
+        folded_tag = fold_history(history, length, self.tag_bits)
+        index = (word ^ folded_index ^ (component * 0x9E37)) & self._index_mask
+        tag = (word ^ (folded_tag << 1) ^ length) & self._tag_mask
+        return index, tag
+
+    def _lookup(self, pc: int, history: int) -> Tuple[Optional[int], Optional[_Entry]]:
+        """Return (component index, entry) of the longest-history hit."""
+        for component in reversed(range(len(self.lengths))):
+            index, tag = self._locate(component, pc, history)
+            entry = self._tables[component].get(index)
+            if entry is not None and entry.tag == tag:
+                return component, entry
+        return None, None
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        component, entry = self._lookup(pc, history)
+        if entry is not None:
+            self.provider_hits[component] += 1
+            return entry.target
+        base = self._base.get(pc)
+        if base is not None:
+            self.base_hits += 1
+        return base
+
+    def _next_random(self) -> int:
+        self._rng_state = (self._rng_state * 1103515245 + 12345) & 0xFFFFFFFF
+        return self._rng_state >> 16
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        component, entry = self._lookup(pc, history)
+        if entry is not None:
+            if entry.target == target:
+                if entry.confidence < self.CONF_MAX:
+                    entry.confidence += 1
+            else:
+                if entry.confidence > 0:
+                    entry.confidence -= 1
+                else:
+                    entry.target = target
+                    entry.confidence = 1
+            correct = entry.target == target and entry.confidence > 0
+        else:
+            correct = self._base.get(pc) == target
+        if not correct:
+            self._allocate(component, pc, history, target)
+        self._base[pc] = target
+
+    def _allocate(self, provider: Optional[int], pc: int, history: int,
+                  target: int) -> None:
+        """Allocate in one component with longer history than the provider."""
+        start = 0 if provider is None else provider + 1
+        candidates = range(start, len(self.lengths))
+        for component in candidates:
+            index, tag = self._locate(component, pc, history)
+            table = self._tables[component]
+            victim = table.get(index)
+            if victim is None or victim.confidence == 0:
+                table[index] = _Entry(tag=tag, target=target)
+                return
+        # everyone confident: decay one victim so future allocations succeed
+        choices = list(candidates)
+        if not choices:
+            return
+        component = choices[self._next_random() % len(choices)]
+        index, _ = self._locate(component, pc, history)
+        victim = self._tables[component].get(index)
+        if victim is not None and victim.confidence > 0:
+            victim.confidence -= 1
+
+    def reset(self) -> None:
+        self._tables = [dict() for _ in self.lengths]
+        self._base.clear()
+
+    def __repr__(self) -> str:
+        return (f"ITTageLite(table_bits={self.table_bits}, "
+                f"lengths={self.lengths})")

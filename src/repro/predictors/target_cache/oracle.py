@@ -1,0 +1,53 @@
+"""Bounding predictors: oracle (perfect) and unlimited last-target.
+
+Neither appears as a hardware proposal in the paper, but both bound the
+design space: the oracle gives the execution-time ceiling any target
+predictor could reach (analogous to the oracle CBT study of Kaeli & Emma
+the paper discusses in §2), and :class:`LastTargetPredictor` isolates the
+*algorithmic* weakness of last-target prediction from BTB capacity effects
+— its misprediction rate equals the trace's target-transition rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.predictors.target_cache.base import TargetPredictor
+
+
+class OracleTargetPredictor(TargetPredictor):
+    """Always predicts correctly.
+
+    The fetch engine consults :meth:`predict` before the branch resolves,
+    so the oracle is primed through :meth:`prime`: the simulator tells it
+    the actual target of the jump it is about to predict.  This keeps the
+    :class:`TargetPredictor` interface uniform while modelling perfection.
+    """
+
+    def __init__(self) -> None:
+        self._next_target: Optional[int] = None
+
+    def prime(self, target: int) -> None:
+        self._next_target = target
+
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        return self._next_target
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        self._next_target = None
+
+
+class LastTargetPredictor(TargetPredictor):
+    """Unbounded per-pc last-target table (an infinite, conflict-free BTB)."""
+
+    def __init__(self) -> None:
+        self._last: Dict[int, int] = {}
+
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        return self._last.get(pc)
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        self._last[pc] = target
+
+    def reset(self) -> None:
+        self._last.clear()

@@ -1,0 +1,54 @@
+"""Tagless target cache (paper §3.2, Figure 10).
+
+"The target cache is similar to the pattern history table of the 2-level
+branch predictor; the only difference is that a target cache's storage
+structure records branch targets while a 2-level branch predictor's pattern
+history table records branch directions."
+
+The entry selected by the index scheme is used verbatim — there is no tag,
+so two different (pc, history) pairs that hash to the same entry interfere,
+"particularly detrimental ... because the targets of two different indirect
+branches are usually different".  The paper's §4.2.1 hashing-function study
+(GAg / GAs / gshare) is expressed through the pluggable
+:class:`~repro.predictors.indexing.IndexScheme`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.predictors.indexing import IndexScheme
+from repro.predictors.target_cache.base import TargetPredictor
+
+
+class TaglessTargetCache(TargetPredictor):
+    """Direct-indexed table of targets, one per entry, no tags."""
+
+    def __init__(self, scheme: IndexScheme) -> None:
+        self.scheme = scheme
+        self.entries = scheme.table_size
+        self._targets: List[Optional[int]] = [None] * self.entries
+        self.predictions = 0
+        self.structural_misses = 0
+
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        self.predictions += 1
+        target = self._targets[self.scheme.index(pc, history)]
+        if target is None:
+            self.structural_misses += 1
+        return target
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        self._targets[self.scheme.index(pc, history)] = target
+
+    def reset(self) -> None:
+        self._targets = [None] * self.entries
+
+    def utilisation(self) -> float:
+        """Fraction of entries holding a target (the gshare-vs-GAs story:
+        gshare "effectively utilizes more of the entries")."""
+        used = sum(1 for t in self._targets if t is not None)
+        return used / self.entries
+
+    def __repr__(self) -> str:
+        return f"TaglessTargetCache(entries={self.entries}, scheme={self.scheme!r})"

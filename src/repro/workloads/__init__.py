@@ -1,0 +1,49 @@
+"""Synthetic SPECint95-like guest workloads.
+
+The paper evaluates on the eight SPECint95 benchmarks.  Those binaries and
+inputs are not available here, so this package provides eight guest programs
+with the same *character*, each calibrated against the paper's published
+statistics (Table 1 misprediction rates, Figures 1-8 target histograms, and
+the §4.2.3 observations about which history type wins where):
+
+========== ==================================================================
+name        character
+========== ==================================================================
+compress    LZW-style byte compressor: hash probing, bit packing, one
+            heavily-skewed dispatch (low indirect mispredict rate, ~14%)
+gcc         compiler passes walking ASTs through many static switch
+            statements (many static indirect jumps, BTB mispredicts ~66%)
+go          board scanner with data-dependent pattern dispatch and
+            hard-to-predict conditionals (~38%)
+ijpeg       DCT-style block transforms with a skewed coefficient-class
+            dispatch (~11%)
+m88ksim     a CPU simulator simulating a toy processor: fetch/decode/execute
+            switch over opcodes of a looping guest-guest program (~37%)
+perl        a bytecode interpreter whose dispatch loop re-processes a
+            looping token script — the paper's flagship path-history case
+            (~76% BTB mispredict, few static indirect jumps)
+vortex      OO-database-style method calls through per-class function
+            tables, receivers arriving in homogeneous runs (~8%)
+xlisp       a tag-dispatched expression evaluator with a mark-sweep-style
+            heap scan (~21%)
+========== ==================================================================
+
+Use :func:`~repro.workloads.registry.get_trace` (also re-exported here) to
+obtain cached traces.
+"""
+
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_program,
+    get_trace,
+    workload_names,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_program",
+    "get_trace",
+    "workload_names",
+]

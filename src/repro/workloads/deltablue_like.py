@@ -1,0 +1,207 @@
+"""deltablue-like OO workload: a constraint solver executing plans.
+
+The second classic C++-polymorphism benchmark (with richards) from the
+indirect-branch literature the paper's §5 anticipates.  DeltaBlue builds a
+*plan* — an ordered list of constraints — and repeatedly executes it; each
+constraint's ``execute`` method is virtual, so plan execution is a loop of
+indirect calls whose receiver sequence is exactly the plan: long, fixed,
+and polymorphic.  That makes it the OO analogue of perl's token script —
+hopeless for a BTB, nearly free for a history-indexed target cache.
+
+Guest structure:
+
+* six constraint kinds (stay / edit / scale / offset / equality / chain),
+  each with ``execute`` and ``check`` methods — two virtual slots, giving
+  two hot indirect call sites with six targets each;
+* constraint records ``[execute-ptr, check-ptr, in-var, out-var, k]``;
+  variables live in a guest array;
+* several pre-built plans; after each full execution the solver switches
+  plans on a guest-random bit (re-planning), so the receiver stream is
+  piecewise-periodic rather than trivially periodic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import RNG, T0, T1, T2, T3
+
+N_KINDS = 6
+
+# constraint record layout (words): execute-ptr, check-ptr, in-var index,
+# out-var index, coefficient
+_CON_WORDS = 5
+_OFF_EXEC, _OFF_CHECK, _OFF_IN, _OFF_OUT, _OFF_K = 0, 4, 8, 12, 16
+
+# Guest registers
+CON = 12    # current constraint pointer
+PLAN = 13   # current plan base address
+PLEN = 14   # current plan length
+IDX = 10    # plan position
+VBASE = 15  # variable array base
+ACC = 20
+
+
+@dataclass(frozen=True)
+class DeltablueParams:
+    seed: int = 1997
+    n_variables: int = 24
+    n_plans: int = 3
+    plan_length: int = 40
+    #: probability consecutive plan entries share a kind
+    kind_self_bias: float = 0.2
+    method_pad: int = 3
+
+
+def build(params: DeltablueParams = DeltablueParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    kind_names = ["stay", "edit", "scale", "offset", "equality", "chain"]
+
+    # ------------------------------------------------------------------
+    # Methods.  Convention: CON holds the receiver; VBASE the variables.
+    # ------------------------------------------------------------------
+    def load_vars() -> None:
+        """T0 = &vars[in], T1 = &vars[out]."""
+        b.load(T0, CON, _OFF_IN)
+        b.shli(T0, T0, 2)
+        b.add(T0, T0, VBASE)
+        b.load(T1, CON, _OFF_OUT)
+        b.shli(T1, T1, 2)
+        b.add(T1, T1, VBASE)
+
+    for kind, name in enumerate(kind_names):
+        b.label(f"exec_{name}")
+        support.pad_handler(b, rng, 1, params.method_pad, acc_reg=ACC)
+        load_vars()
+        if name == "stay":
+            b.load(T2, T1)
+            b.add(ACC, ACC, T2)
+        elif name == "edit":
+            support.emit_random_bit(b, T2, bit=9)
+            b.load(T3, T1)
+            b.add(T3, T3, T2)
+            b.andi(T3, T3, 0xFFFF)
+            b.store(T3, T1)
+        elif name == "scale":
+            b.load(T2, T0)
+            b.load(T3, CON, _OFF_K)
+            b.mul(T2, T2, T3)
+            b.andi(T2, T2, 0xFFFF)
+            b.store(T2, T1)
+        elif name == "offset":
+            b.load(T2, T0)
+            b.load(T3, CON, _OFF_K)
+            b.add(T2, T2, T3)
+            b.andi(T2, T2, 0xFFFF)
+            b.store(T2, T1)
+        elif name == "equality":
+            b.load(T2, T0)
+            b.store(T2, T1)
+        else:  # chain: out = in + previous out (dependency chain)
+            b.load(T2, T0)
+            b.load(T3, T1)
+            b.add(T2, T2, T3)
+            b.andi(T2, T2, 0xFFFF)
+            b.store(T2, T1)
+        b.ret()
+
+        b.label(f"check_{name}")
+        support.pad_handler(b, rng, 0, 2, acc_reg=ACC)
+        load_vars()
+        b.load(T2, T0)
+        b.load(T3, T1)
+        satisfied = b.unique_label(f"sat_{name}")
+        if kind % 2 == 0:
+            b.beq(T2, T3, satisfied)
+        else:
+            b.bge(T3, T2, satisfied)
+        b.addi(ACC, ACC, 1)       # violation counter
+        b.label(satisfied)
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Data: variables, constraints, plans.
+    # ------------------------------------------------------------------
+    vars_base = b.data_table(
+        [rng.randrange(1, 1 << 12) for _ in range(params.n_variables)]
+    )
+
+    constraints_base = b.data_cursor
+
+    def constraint_address(index: int) -> int:
+        return constraints_base + index * _CON_WORDS * 4
+
+    plans_kinds: List[List[int]] = [
+        support.markov_sequence(rng, params.plan_length, N_KINDS,
+                                self_bias=params.kind_self_bias)
+        for _ in range(params.n_plans)
+    ]
+    all_kinds = [kind for plan in plans_kinds for kind in plan]
+    flat: List[int] = []
+    for kind in all_kinds:
+        flat.extend([
+            0, 0,                                   # method ptrs (fixups)
+            rng.randrange(params.n_variables),      # in-var
+            rng.randrange(params.n_variables),      # out-var
+            rng.randrange(1, 7),                    # coefficient
+        ])
+    placed = b.data_table(flat)
+    assert placed == constraints_base
+    for index, kind in enumerate(all_kinds):
+        b.data_word(f"exec_{kind_names[kind]}",
+                    address=constraint_address(index) + _OFF_EXEC)
+        b.data_word(f"check_{kind_names[kind]}",
+                    address=constraint_address(index) + _OFF_CHECK)
+
+    # plan table: base address of each plan's first constraint
+    plan_bases = [constraint_address(i * params.plan_length)
+                  for i in range(params.n_plans)]
+    plan_table = b.data_table(plan_bases)
+
+    # ------------------------------------------------------------------
+    # Solver loop: execute the current plan (execute + check per entry),
+    # then re-plan on a random bit.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(RNG, params.seed & 0xFFFF)
+    b.li(VBASE, vars_base)
+    b.li(PLAN, plan_bases[0])
+    b.li(PLEN, params.plan_length)
+    b.label("execute_plan")
+    b.li(IDX, 0)
+    b.label("plan_loop")
+    b.li(T0, _CON_WORDS * 4)
+    b.mul(T0, IDX, T0)
+    b.add(CON, T0, PLAN)
+    b.load(T1, CON, _OFF_EXEC)
+    b.callr(T1)                    # virtual execute
+    b.load(T1, CON, _OFF_CHECK)
+    b.callr(T1)                    # virtual check
+    b.addi(IDX, IDX, 1)
+    b.blt(IDX, PLEN, "plan_loop")
+    # re-plan occasionally (~1 execution in 8)
+    support.emit_lcg_step(b)
+    b.shri(T2, RNG, 12)
+    b.andi(T2, T2, 7)
+    same_plan = b.unique_label("same_plan")
+    b.bne(T2, 0, same_plan)
+    support.emit_lcg_step(b)
+    b.shri(T2, RNG, 7)
+    b.li(T3, params.n_plans)
+    b.mod(T2, T2, T3)
+    b.shli(T2, T2, 2)
+    b.addi(T2, T2, plan_table)
+    b.load(PLAN, T2)
+    b.label(same_plan)
+    b.jmp("execute_plan")
+
+    return b.build(entry="main")

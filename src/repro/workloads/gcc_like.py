@@ -1,0 +1,366 @@
+"""gcc-like workload: compiler passes walking ASTs through switch statements.
+
+gcc is the paper's "many static indirect jumps" benchmark: its hundreds of
+switch statements over tree codes mean address bits carry real information,
+so GAs(8,1) is competitive with GAg(9) (§4.2.1), and pattern history beats
+path history (§4.2.3).
+
+This guest program reproduces that structure: four compiler-like passes,
+each with its *own* recursive tree walker whose 16-way kind switch is a
+distinct static indirect jump, plus a per-pass operator sub-switch inside
+the binary-node handler — 8 static indirect jumps spread across the code
+segment.  The forest of ASTs is generated host-side with parent-conditioned
+kind distributions, so the dynamic kind sequence has exploitable structure
+but high transition rates.
+
+Calibration targets (from the paper):
+
+* BTB indirect misprediction ~66% (Table 1): consecutive DFS dispatches
+  rarely repeat a kind;
+* Figure 2 histogram: most static jumps see 10+ distinct targets;
+* target cache misprediction ~30% at 512 entries (§2): the forest's DFS
+  sequences are long enough to pressure a 512-entry cache;
+* one pass mutates node values in place, so behaviour drifts slowly across
+  outer iterations instead of being perfectly periodic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import T0, T1, T2, T3
+
+# Register assignments
+SP = 11     # guest data-stack pointer (for saving NODE across recursion)
+NODE = 12   # current node pointer
+KIND = 13   # current node kind
+VAL = 14    # current node value
+ACC = 20    # pass accumulator
+TREE = 15   # tree index in the main loop
+PASSV = 16  # pass index (diagnostic)
+
+N_KINDS = 16
+_LEAF_KINDS = range(0, 6)
+_UNARY_KINDS = range(6, 10)
+_BINARY_KINDS = range(10, 16)
+
+# Node record layout (words): kind, value, nkids, kid0, kid1
+_NODE_WORDS = 5
+_OFF_KIND, _OFF_VALUE, _OFF_NKIDS, _OFF_KID0, _OFF_KID1 = 0, 4, 8, 12, 16
+
+
+@dataclass(frozen=True)
+class GccParams:
+    seed: int = 1997
+    #: number of distinct subtree templates ("code idioms": a + b,
+    #: a[i] = b * c, if (x < y) ... — real source is built from a small
+    #: vocabulary of recurring shapes, which is what makes its switch
+    #: target stream *learnable* by a history-indexed cache while staying
+    #: unpredictable for a last-target BTB)
+    n_templates: int = 10
+    template_nodes: int = 7
+    max_depth: int = 5
+    #: statements in the compiled "translation unit" (template instances)
+    n_statements: int = 110
+    #: probability a statement repeats the previous template
+    template_self_bias: float = 0.25
+    n_passes: int = 4
+
+
+class _TreeGen:
+    """Host-side AST generator with parent-conditioned kind selection."""
+
+    def __init__(self, rng: random.Random, max_depth: int, target_nodes: int) -> None:
+        self.rng = rng
+        self.max_depth = max_depth
+        self.target_nodes = target_nodes
+        self.nodes: List[List[int]] = []  # [kind, value, nkids, kid0, kid1]
+
+    # Skewed leaf-kind weights: CONST dominates, as identifiers/constants
+    # dominate real ASTs.  The skew creates same-kind runs in DFS order,
+    # pulling the last-target transition rate down toward the paper's ~66%.
+    _LEAF_WEIGHTS = [10, 4, 2, 2, 1, 1]
+    _BINARY_WEIGHTS = [6, 4, 3, 2, 2, 1]
+
+    #: probability a leaf repeats the previously generated leaf kind —
+    #: identifier/constant runs, the main lever on the transition rate
+    _LEAF_PERSISTENCE = 0.65
+
+    def _leaf(self) -> int:
+        last = getattr(self, "_last_leaf", None)
+        if last is not None and self.rng.random() < self._LEAF_PERSISTENCE:
+            return last
+        kind = self.rng.choices(
+            list(_LEAF_KINDS), weights=self._LEAF_WEIGHTS, k=1
+        )[0]
+        self._last_leaf = kind
+        return kind
+
+    def _binary(self) -> int:
+        return self.rng.choices(
+            list(_BINARY_KINDS), weights=self._BINARY_WEIGHTS, k=1
+        )[0]
+
+    def _pick_kind(self, parent_kind: int, depth: int) -> int:
+        rng = self.rng
+        if depth >= self.max_depth or len(self.nodes) > self.target_nodes:
+            return self._leaf()
+        roll = rng.random()
+        if parent_kind in _BINARY_KINDS:
+            # expressions nest: children of binaries are often leaves, but
+            # arithmetic parents prefer arithmetic children (correlation)
+            if roll < 0.45:
+                return self._leaf()
+            if roll < 0.70:
+                return 10 + (parent_kind - 10 + rng.randrange(2)) % 6
+            if roll < 0.88:
+                return self._binary()
+            return rng.choice(list(_UNARY_KINDS))
+        if parent_kind in _UNARY_KINDS:
+            if roll < 0.5:
+                return self._leaf()
+            if roll < 0.8:
+                return self._binary()
+            return rng.choice(list(_UNARY_KINDS))
+        # root
+        return self._binary()
+
+    def generate(self, parent_kind: int = -1, depth: int = 0) -> int:
+        """Build a subtree; return its node index."""
+        kind = self._pick_kind(parent_kind, depth) if depth else self._pick_kind(-1, 0)
+        index = len(self.nodes)
+        # Value layout: [random payload | op bits (9:8) | kind signature
+        # (7:0)].  The padding branches test the kind-signature bits, so
+        # the global pattern history encodes the *kinds* of recently
+        # visited nodes — deterministic and repeating across the forest,
+        # which is what lets a 512-entry target cache learn it (per-node
+        # random bits would give every dispatch a unique history and
+        # thrash the cache).  The op bits select the operator sub-handler,
+        # skewed so its last-target prediction is moderately good.
+        op_bits = self.rng.choices([0, 1, 2, 3], weights=[4, 3, 2, 1], k=1)[0]
+        kind_signature = (kind * 37 + 11) & 0xFF
+        value = (self.rng.randrange(1, 1 << 12) << 10) | (op_bits << 8) | kind_signature
+        self.nodes.append([kind, value, 0, 0, 0])
+        if kind in _UNARY_KINDS:
+            kid = self.generate(kind, depth + 1)
+            self.nodes[index][2] = 1
+            self.nodes[index][3] = kid
+        elif kind in _BINARY_KINDS:
+            kid0 = self.generate(kind, depth + 1)
+            kid1 = self.generate(kind, depth + 1)
+            self.nodes[index][2] = 2
+            self.nodes[index][3] = kid0
+            self.nodes[index][4] = kid1
+        return index
+
+
+def _emit_pass(b: ProgramBuilder, rng: random.Random, pass_index: int,
+               mutate_values: bool) -> str:
+    """Emit one pass's walker; returns the walker's entry label."""
+    walker = f"walk_p{pass_index}"
+    done = f"ret_p{pass_index}"
+    handlers = [f"p{pass_index}_k{kind}" for kind in range(N_KINDS)]
+    dispatch_table = b.data_table(handlers)
+    op_handlers = [f"p{pass_index}_op{j}" for j in range(4)]
+    op_table = b.data_table(op_handlers)
+
+    b.label(walker)
+    b.load(KIND, NODE, _OFF_KIND)
+    # Compare-chain prefix, as compilers emit for switches (paper Fig. 9):
+    # class tests whose outcomes put the current node's kind into the
+    # global pattern history before the jump-table dispatch.
+    t1 = b.unique_label(f"p{pass_index}_isleaf")
+    b.li(T3, 6)
+    b.slt(T3, KIND, T3)
+    b.beq(T3, 0, t1)
+    b.addi(ACC, ACC, 1)
+    b.label(t1)
+    t2 = b.unique_label(f"p{pass_index}_isbin")
+    b.li(T3, 10)
+    b.slt(T3, KIND, T3)
+    b.bne(T3, 0, t2)
+    b.addi(ACC, ACC, 2)
+    b.label(t2)
+    t3 = b.unique_label(f"p{pass_index}_kbit")
+    b.andi(T3, KIND, 1)
+    b.beq(T3, 0, t3)
+    b.xori(ACC, ACC, 5)
+    b.label(t3)
+    support.emit_dispatch(b, dispatch_table, KIND)
+
+    for kind in range(N_KINDS):
+        b.label(handlers[kind])
+        support.pad_handler(b, rng, 1, 5, acc_reg=ACC)
+        if kind in _LEAF_KINDS:
+            b.load(VAL, NODE, _OFF_VALUE)
+            b.add(ACC, ACC, VAL)
+            # padding branches test successive bits of the node value —
+            # deterministic per node, so the global pattern history
+            # identifies the recent DFS context (the correlation the
+            # paper's pattern-history target cache exploits on gcc)
+            support.emit_operand_pad(b, VAL, 3, rng, acc_reg=ACC,
+                                     first_bit=kind % 4)
+            b.li(T3, 2)
+            support.emit_work_loop(
+                b, b.unique_label(f"p{pass_index}_leafwork"), T3, counter_reg=T2
+            )
+            if kind == 0:
+                # CONST leaves branch on value parity (repeatable outcome)
+                skip = b.unique_label(f"p{pass_index}_parity")
+                b.andi(T0, VAL, 1)
+                b.beq(T0, 0, skip)
+                b.xori(ACC, ACC, 0x5A)
+                b.label(skip)
+            b.jmp(done)
+        elif kind in _UNARY_KINDS:
+            b.store(NODE, SP)
+            b.addi(SP, SP, 4)
+            b.load(NODE, NODE, _OFF_KID0)
+            b.call(walker)
+            b.addi(SP, SP, -4)
+            b.load(NODE, SP)
+            if mutate_values:
+                b.store(ACC, NODE, _OFF_VALUE)  # fold result back (drift)
+            b.load(VAL, NODE, _OFF_VALUE)
+            support.emit_operand_pad(b, VAL, 2, rng, acc_reg=ACC,
+                                     first_bit=kind % 4)
+            b.xori(ACC, ACC, kind)
+            b.jmp(done)
+        else:  # binary
+            b.store(NODE, SP)
+            b.addi(SP, SP, 4)
+            b.load(NODE, NODE, _OFF_KID0)
+            b.call(walker)
+            b.addi(SP, SP, -4)
+            b.load(NODE, SP)
+            b.store(NODE, SP)
+            b.addi(SP, SP, 4)
+            b.load(NODE, NODE, _OFF_KID1)
+            b.call(walker)
+            b.addi(SP, SP, -4)
+            b.load(NODE, SP)
+            # post-visit work (type checking / cost computation stand-in)
+            b.load(VAL, NODE, _OFF_VALUE)
+            support.emit_operand_pad(b, VAL, 3, rng, acc_reg=ACC,
+                                     first_bit=(kind + 2) % 4)
+            # operator sub-switch: second static indirect jump of this pass
+            b.andi(T3, VAL, 3)
+            support.emit_dispatch(b, op_table, T3)
+
+    for j, name in enumerate(op_handlers):
+        b.label(name)
+        support.pad_handler(b, rng, 1, 3, acc_reg=ACC)
+        if j == 0:
+            b.add(ACC, ACC, VAL)
+        elif j == 1:
+            b.sub(ACC, ACC, VAL)
+        elif j == 2:
+            b.mul(T0, ACC, VAL)
+            b.add(ACC, ACC, T0)
+        else:
+            b.shri(T0, ACC, 3)
+            b.xor(ACC, ACC, T0)
+        b.jmp(done)
+
+    b.label(done)
+    b.ret()
+    return walker
+
+
+def build(params: GccParams = GccParams()) -> GuestProgram:
+    """Assemble the four-pass AST walker over a generated forest."""
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    walkers = [
+        _emit_pass(b, rng, p, mutate_values=(p == 1))
+        for p in range(params.n_passes)
+    ]
+
+    # ------------------------------------------------------------------
+    # Forest data: a small vocabulary of subtree templates, instantiated
+    # per "statement".  Each instance gets fresh payload and operator bits
+    # but keeps the template's kind shape (and hence its kind-signature
+    # branch pattern), so the history-indexed target cache can learn the
+    # recurring idioms while the per-instance operator bits keep the
+    # op-switch stream from becoming trivial.
+    # ------------------------------------------------------------------
+    templates: List[List[List[int]]] = []
+    for _ in range(params.n_templates):
+        gen = _TreeGen(rng, params.max_depth, params.template_nodes)
+        gen.generate()   # root is local index 0
+        templates.append(gen.nodes)
+
+    statement_templates = support.markov_sequence(
+        rng, params.n_statements, params.n_templates,
+        self_bias=params.template_self_bias,
+    )
+    node_records: List[List[int]] = []
+    root_indices: List[int] = []
+    for template_id in statement_templates:
+        template = templates[template_id]
+        offset = len(node_records)
+        for kind, value, nkids, kid0, kid1 in template:
+            signature = value & 0xFF
+            op_bits = rng.choices([0, 1, 2, 3], weights=[4, 3, 2, 1], k=1)[0]
+            payload = rng.randrange(1, 1 << 12)
+            fresh_value = (payload << 10) | (op_bits << 8) | signature
+            node_records.append([
+                kind,
+                fresh_value,
+                nkids,
+                kid0 + offset if nkids >= 1 else 0,
+                kid1 + offset if nkids == 2 else 0,
+            ])
+        root_indices.append(offset)
+    n_statements = len(root_indices)
+
+    nodes_base = b.data_cursor
+
+    def node_address(index: int) -> int:
+        return nodes_base + index * _NODE_WORDS * 4
+
+    flat: List[int] = []
+    for record in node_records:
+        kind, value, nkids, kid0, kid1 = record
+        flat.extend([
+            kind,
+            value,
+            nkids,
+            node_address(kid0) if nkids >= 1 else 0,
+            node_address(kid1) if nkids == 2 else 0,
+        ])
+    placed_base = b.data_table(flat)
+    assert placed_base == nodes_base
+
+    roots_base = b.data_table([node_address(i) for i in root_indices])
+    stack_base = b.data_zeros(1024)
+
+    # ------------------------------------------------------------------
+    # Main loop: forever { for each pass { for each tree { walk } } }
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(SP, stack_base)
+    b.li(ACC, 1)
+    b.label("outer")
+    for p, walker in enumerate(walkers):
+        b.li(PASSV, p)
+        b.li(TREE, 0)
+        b.label(f"trees_p{p}")
+        b.shli(T0, TREE, 2)
+        b.li(T1, roots_base)
+        b.add(T0, T0, T1)
+        b.load(NODE, T0)
+        b.call(walker)
+        b.addi(TREE, TREE, 1)
+        b.li(T1, n_statements)
+        b.blt(TREE, T1, f"trees_p{p}")
+    b.jmp("outer")
+
+    return b.build(entry="main")

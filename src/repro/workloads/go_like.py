@@ -1,0 +1,198 @@
+"""go-like workload: board scanning with data-dependent pattern dispatch.
+
+go (the game player) is the classic hard-to-predict benchmark: its
+conditional branches depend on board contents, and its switch-like
+dispatches (pattern matchers) follow the board too.  The paper's Table 1
+puts its BTB indirect misprediction near 38% — the dispatch class changes
+often, but empty-board regions give a dominant case.
+
+Structure: a 19x19 board initialised host-side with a skewed
+empty/black/white distribution; a scan loop classifying each interior
+point from its own stone and its neighbours (a 6-class dispatch); per-point
+evaluation with board-dependent conditionals; and a move-generation step
+after each scan that flips a few random cells, so the board — and the
+dispatch stream — drifts over time.
+
+Class mapping (computed in guest code): empty points split into "quiet"
+(fewer than two occupied neighbours; the dominant class) and "contested";
+occupied points split by colour and by whether they have at least two
+occupied neighbours (group interior vs isolated stone).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import RNG, T0, T1, T2, T3
+
+BOARD_DIM = 19
+BOARD_CELLS = BOARD_DIM * BOARD_DIM
+N_CLASSES = 6
+
+# Guest registers
+POS = 10     # board position index
+STONE = 12   # stone at the position (0 empty / 1 black / 2 white)
+NBRS = 13    # occupied-neighbour count
+CLASSR = 14  # pattern class
+ACC = 20
+
+
+@dataclass(frozen=True)
+class GoParams:
+    seed: int = 1997
+    #: P(empty), P(black); white gets the rest.  Emptiness skew is the
+    #: calibration lever for the ~38% BTB rate.
+    p_empty: float = 0.80
+    p_black: float = 0.11
+    #: an empty point is "quiet" while it has fewer than this many occupied
+    #: neighbours (raising it enlarges the dominant class)
+    quiet_threshold: int = 3
+    #: cells flipped by the move generator after each scan
+    moves_per_scan: int = 6
+    #: per-point evaluation work iterations
+    eval_iterations: int = 4
+
+
+def build(params: GoParams = GoParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # Board data (host-initialised).
+    stones = []
+    for _ in range(BOARD_CELLS):
+        roll = rng.random()
+        if roll < params.p_empty:
+            stones.append(0)
+        elif roll < params.p_empty + params.p_black:
+            stones.append(1)
+        else:
+            stones.append(2)
+    board_base = b.data_table(stones)
+    influence_base = b.data_zeros(BOARD_CELLS)
+    class_names = [f"pat_{i}" for i in range(N_CLASSES)]
+    class_table = b.data_table(class_names)
+
+    def load_cell(dst: int, index_reg: int, offset_cells: int) -> None:
+        """dst = board[index_reg + offset_cells]; occupancy only."""
+        b.addi(T0, index_reg, offset_cells)
+        b.shli(T0, T0, 2)
+        b.addi(T0, T0, board_base)
+        b.load(dst, T0)
+
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(RNG, params.seed & 0xFFFF)
+
+    # ------------------------------------------------------------------
+    # Scan: interior points only, so the four neighbours always exist.
+    # ------------------------------------------------------------------
+    b.label("scan")
+    b.li(POS, BOARD_DIM + 1)
+    b.label("scan_loop")
+    load_cell(STONE, POS, 0)
+    # count occupied neighbours (left, right, up, down)
+    b.li(NBRS, 0)
+    for offset in (-1, 1, -BOARD_DIM, BOARD_DIM):
+        load_cell(T1, POS, offset)
+        b.slt(T2, 0, T1)          # T2 = 1 if neighbour occupied
+        b.add(NBRS, NBRS, T2)
+    # classify: empty -> 0 (quiet) or 1 (contested);
+    #           stone -> 2+2*(colour-1) + (nbrs >= 2)
+    b.li(T2, 2)
+    empty_case = b.unique_label("cls_empty")
+    stone_case = b.unique_label("cls_stone")
+    classified = b.unique_label("cls_done")
+    b.beq(STONE, 0, empty_case)
+    b.label(stone_case)
+    b.addi(CLASSR, STONE, -1)     # 0 for black, 1 for white
+    b.shli(CLASSR, CLASSR, 1)
+    b.addi(CLASSR, CLASSR, 2)     # 2 or 4
+    b.slt(T3, NBRS, T2)           # T3 = 1 if nbrs < 2
+    b.xori(T3, T3, 1)             # T3 = 1 if nbrs >= 2
+    b.add(CLASSR, CLASSR, T3)     # +1 for group interior
+    b.jmp(classified)
+    b.label(empty_case)
+    b.li(T2, params.quiet_threshold)
+    b.slt(T3, NBRS, T2)
+    b.xori(CLASSR, T3, 1)         # 0 if quiet, 1 if contested
+    b.label(classified)
+    support.emit_dispatch(b, class_table, CLASSR)
+
+    for i, name in enumerate(class_names):
+        b.label(name)
+        support.pad_handler(b, rng, 1, 5, acc_reg=ACC)
+        if i == 0:
+            # quiet empty point: cheap influence decay
+            b.shli(T2, POS, 2)
+            b.addi(T2, T2, influence_base)
+            b.load(T3, T2)
+            b.shri(T3, T3, 1)
+            b.store(T3, T2)
+        elif i == 1:
+            # contested empty point: territory estimate with a
+            # board-dependent (hard-to-predict) conditional
+            b.add(T2, NBRS, STONE)
+            b.andi(T3, ACC, 1)
+            side = b.unique_label("pat1_side")
+            b.beq(T3, 0, side)
+            b.add(ACC, ACC, T2)
+            b.label(side)
+            b.addi(ACC, ACC, 1)
+        else:
+            # stone classes: liberty-count style evaluation loop
+            b.li(T3, params.eval_iterations + i)
+            support.emit_work_loop(
+                b, b.unique_label(f"pat{i}_eval"), T3, counter_reg=T2
+            )
+            b.shli(T2, POS, 2)
+            b.addi(T2, T2, influence_base)
+            b.store(NBRS, T2)
+        b.jmp("point_done")
+
+    b.label("point_done")
+    b.addi(POS, POS, 1)
+    b.li(T3, BOARD_CELLS - BOARD_DIM - 1)
+    b.blt(POS, T3, "scan_loop")
+
+    # ------------------------------------------------------------------
+    # Move generation: flip a few random interior cells so the board and
+    # the dispatch stream drift (no perfect periodicity).
+    # ------------------------------------------------------------------
+    b.li(T1, 0)
+    b.label("moves_loop")
+    support.emit_lcg_step(b)
+    b.shri(T2, RNG, 5)
+    b.li(T3, BOARD_CELLS - 2 * BOARD_DIM)
+    b.mod(T2, T2, T3)
+    b.addi(T2, T2, BOARD_DIM)     # interior position
+    b.shli(T2, T2, 2)
+    b.addi(T2, T2, board_base)
+    # draw the new stone from (roughly) the initial distribution so the
+    # board's emptiness skew is stationary over arbitrarily long traces —
+    # cycling states instead would drift toward uniform occupancy and
+    # silently decalibrate the BTB misprediction rate
+    b.shri(T3, RNG, 9)
+    b.andi(T3, T3, 15)
+    b.li(T0, int(params.p_empty * 16))
+    empty_stone = b.unique_label("mv_empty")
+    colour_stone = b.unique_label("mv_done")
+    b.blt(T3, T0, empty_stone)
+    b.shri(T3, RNG, 13)
+    b.andi(T3, T3, 1)
+    b.addi(T3, T3, 1)             # black or white
+    b.jmp(colour_stone)
+    b.label(empty_stone)
+    b.li(T3, 0)
+    b.label(colour_stone)
+    b.store(T3, T2)
+    b.addi(T1, T1, 1)
+    b.li(T3, params.moves_per_scan)
+    b.blt(T1, T3, "moves_loop")
+    b.jmp("scan")
+
+    return b.build(entry="main")

@@ -1,0 +1,159 @@
+"""ijpeg-like workload: block transforms with a skewed coefficient dispatch.
+
+ijpeg (JPEG compression) alternates dense arithmetic kernels (DCT,
+quantisation — multiply/add heavy) with entropy coding whose dispatch is
+dominated by the zero/small-coefficient case.  Indirect jumps are rare and
+skewed, so the BTB is wrong only ~11% of the time (paper Table 1): like
+compress, ijpeg bounds how little a target cache can matter.
+
+Structure: a set of 8x8 coefficient blocks generated host-side with a
+heavy-tailed magnitude distribution; per block, a row-transform loop
+(MUL/FADD work), per-row quantisation with saturation conditionals, and
+one dispatch per row on the row's energy class (4 classes, ~93/4/2/1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import T0, T1, T2, T3
+
+BLOCK_DIM = 8
+
+# Guest registers
+BLK = 10     # block index
+ROW = 11     # row index
+COL = 12     # column index
+COEF = 13    # current coefficient
+SUM = 14     # row accumulator
+CLASSR = 15  # row energy class
+ACC = 20
+FACC = 25    # floating accumulator
+
+
+@dataclass(frozen=True)
+class IjpegParams:
+    seed: int = 1997
+    n_blocks: int = 10
+    #: fraction of rows whose energy lands in class 0 (zero-ish rows);
+    #: calibrates the ~11% BTB rate via the class thresholds below
+    p_zero_row: float = 0.95
+    quant_threshold: int = 40
+    saturate_limit: int = 200
+
+
+def _generate_blocks(rng: random.Random, params: IjpegParams) -> List[int]:
+    """Coefficient data: most rows near-zero, a few energetic ones."""
+    words: List[int] = []
+    for _ in range(params.n_blocks):
+        for _row in range(BLOCK_DIM):
+            energetic = rng.random() > params.p_zero_row
+            for _col in range(BLOCK_DIM):
+                if energetic:
+                    words.append(rng.randrange(30, 255))
+                else:
+                    # mostly zeros with occasional small values
+                    words.append(0 if rng.random() < 0.8 else rng.randrange(1, 6))
+    return words
+
+
+def build(params: IjpegParams = IjpegParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    blocks_base = b.data_table(_generate_blocks(rng, params))
+    output_base = b.data_zeros(params.n_blocks * BLOCK_DIM)
+    class_names = ["enc_zero", "enc_small", "enc_mid", "enc_large"]
+    class_table = b.data_table(class_names)
+    block_words = BLOCK_DIM * BLOCK_DIM
+
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(BLK, 0)
+
+    b.label("block_loop")
+    b.li(ROW, 0)
+    b.label("row_loop")
+    # ---- row transform: load 8 coefficients, accumulate products -------
+    b.li(SUM, 0)
+    b.li(COL, 0)
+    b.label("col_loop")
+    # addr = blocks_base + ((BLK*64 + ROW*8 + COL) * 4)
+    b.li(T0, block_words)
+    b.mul(T0, BLK, T0)
+    b.shli(T1, ROW, 3)
+    b.add(T0, T0, T1)
+    b.add(T0, T0, COL)
+    b.shli(T0, T0, 2)
+    b.addi(T0, T0, blocks_base)
+    b.load(COEF, T0)
+    # butterfly-ish arithmetic: integer multiply + float accumulate
+    b.addi(T1, COL, 3)
+    b.mul(T2, COEF, T1)
+    b.add(SUM, SUM, T2)
+    b.fadd(FACC, FACC, COEF)
+    b.fmul(FACC, FACC, 26)
+    # quantisation with saturation (conditional on data)
+    b.li(T1, params.saturate_limit)
+    nosat = b.unique_label("nosat")
+    b.blt(COEF, T1, nosat)
+    b.li(COEF, params.saturate_limit)
+    b.addi(ACC, ACC, 1)
+    b.label(nosat)
+    b.addi(COL, COL, 1)
+    b.li(T3, BLOCK_DIM)
+    b.blt(COL, T3, "col_loop")
+    # ---- classify row energy and dispatch the encoder ------------------
+    b.shri(SUM, SUM, 3)           # scale the accumulated energy
+    b.li(CLASSR, 0)
+    b.li(T1, params.quant_threshold)
+    enc = b.unique_label("enc_go")
+    b.blt(SUM, T1, enc)
+    b.li(CLASSR, 1)
+    b.li(T1, params.quant_threshold * 20)
+    b.blt(SUM, T1, enc)
+    b.li(CLASSR, 2)
+    b.li(T1, params.quant_threshold * 40)
+    b.blt(SUM, T1, enc)
+    b.li(CLASSR, 3)
+    b.label(enc)
+    support.emit_dispatch(b, class_table, CLASSR)
+
+    for i, name in enumerate(class_names):
+        b.label(name)
+        support.pad_handler(b, rng, 1, 4, acc_reg=ACC)
+        if i == 0:
+            # zero row: run-length increment only
+            b.addi(ACC, ACC, 1)
+        else:
+            # emit Huffman-ish bits proportional to the class
+            b.li(T3, 2 * i + 1)
+            support.emit_work_loop(
+                b, b.unique_label(f"enc_bits_{i}"), T3, counter_reg=T2
+            )
+            b.shli(ACC, ACC, 1)
+            b.xori(ACC, ACC, i)
+            b.andi(ACC, ACC, 0xFFFFF)
+        b.jmp("row_done")
+
+    b.label("row_done")
+    # store the row summary
+    b.shli(T0, ROW, 2)
+    b.addi(T0, T0, output_base)
+    b.store(SUM, T0)
+    b.addi(ROW, ROW, 1)
+    b.li(T3, BLOCK_DIM)
+    b.blt(ROW, T3, "row_loop")
+    b.addi(BLK, BLK, 1)
+    b.li(T3, params.n_blocks)
+    b.blt(BLK, T3, "block_loop")
+    b.li(BLK, 0)
+    b.jmp("block_loop")
+
+    return b.build(entry="main")

@@ -1,0 +1,277 @@
+"""m88ksim-like workload: a CPU simulator simulating a toy processor.
+
+m88ksim (a Motorola 88100 simulator) spends its time in a fetch / decode /
+execute loop whose decode step is a switch over opcodes — a single hot
+static indirect jump whose target stream follows the *simulated* program's
+instruction sequence.  Because simulated programs are loops, the opcode
+stream repeats and history-based prediction works well, but consecutive
+opcodes repeat often enough that a plain BTB is wrong only ~37% of the time
+(paper Table 1: 37.3%).
+
+This guest program is that loop: a toy 16-opcode ISA, a toy program
+(checksum over an array, with inner loops and toy branches) encoded into
+guest memory host-side, and a decode switch with one handler per opcode.
+The toy program is written so consecutive dynamic opcodes repeat ~60% of
+the time (runs of ADDs, paired LOAD/LOAD), calibrating the BTB rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import T0, T1, T2
+
+# Guest registers
+SIMPC = 10    # simulated program counter (word index into toy program)
+WORD = 12    # fetched toy instruction word
+OPC = 13     # decoded opcode
+RD = 14      # decoded destination register number
+RS = 15      # decoded source register number
+IMM = 16     # decoded immediate
+VA = 17      # toy operand value a
+VB = 18      # toy operand value b
+ACC = 20     # host-side accumulator (padding work)
+
+# Toy opcodes
+(T_NOP, T_ADD, T_ADDI, T_SUB, T_SHL, T_AND, T_XOR, T_LOAD, T_STORE,
+ T_MUL, T_BEQZ, T_BNEZ, T_JMP, T_MOVI) = range(14)
+N_TOY_OPS = 14
+
+
+def _enc(op: int, rd: int = 0, rs: int = 0, imm: int = 0) -> int:
+    """Encode one toy instruction into a 32-bit-ish word."""
+    return (op << 24) | ((rd & 0xFF) << 16) | ((rs & 0xFF) << 8) | (imm & 0xFF)
+
+
+def _toy_program(rng: random.Random, array_len: int) -> List[int]:
+    """The simulated guest-guest program: checksum an array in a loop.
+
+    Toy registers: 0 = zero-ish scratch, 1 = index, 2 = limit, 3 = element,
+    4 = checksum, 5 = inner counter, 6 = scratch, 7 = bit buffer.
+    The toy array lives at toy-memory words [32, 32+array_len).
+    """
+    program: List[int] = []
+    program.append(_enc(T_MOVI, 1, 0, 0))            # i = 0
+    program.append(_enc(T_MOVI, 2, 0, array_len))    # limit
+    program.append(_enc(T_MOVI, 4, 0, 1))            # checksum = 1
+    loop_top = len(program)
+    # The loop body is written with long same-opcode runs (unrolled loads,
+    # add chains, addi chains) so consecutive dynamic opcodes repeat ~60%
+    # of the time — the lever that calibrates the BTB misprediction rate
+    # of the decode dispatch to the paper's ~37%.
+    program.append(_enc(T_LOAD, 3, 1, 32))           # six-load run
+    program.append(_enc(T_LOAD, 6, 1, 33))
+    program.append(_enc(T_LOAD, 7, 1, 34))
+    program.append(_enc(T_LOAD, 8, 1, 35))
+    program.append(_enc(T_LOAD, 10, 1, 36))
+    program.append(_enc(T_LOAD, 11, 1, 37))
+    program.append(_enc(T_ADD, 4, 3, 0))             # six-add run
+    program.append(_enc(T_ADD, 4, 6, 0))
+    program.append(_enc(T_ADD, 4, 7, 0))
+    program.append(_enc(T_ADD, 4, 8, 0))
+    program.append(_enc(T_ADD, 9, 3, 0))
+    program.append(_enc(T_ADD, 9, 6, 0))
+    program.append(_enc(T_ADD, 9, 10, 0))
+    program.append(_enc(T_ADD, 4, 11, 0))
+    program.append(_enc(T_XOR, 4, 9, 0))             # three-xor run
+    program.append(_enc(T_XOR, 9, 3, 0))
+    program.append(_enc(T_XOR, 9, 11, 0))
+    program.append(_enc(T_SHL, 9, 9, 1))             # two-shift run
+    program.append(_enc(T_SHL, 4, 4, 1))
+    program.append(_enc(T_MUL, 4, 3, 0))
+    program.append(_enc(T_ADDI, 5, 5, 1))            # four-addi run
+    program.append(_enc(T_ADDI, 5, 5, 2))
+    program.append(_enc(T_ADDI, 9, 9, 3))
+    program.append(_enc(T_ADDI, 9, 9, 1))
+    program.append(_enc(T_AND, 6, 3, 3))
+    # occasionally-taken data-dependent toy branch
+    skip = len(program) + 2
+    program.append(_enc(T_BEQZ, 0, 6, skip))
+    program.append(_enc(T_SUB, 4, 6, 0))
+    program.append(_enc(T_STORE, 4, 1, 96))          # four-store run
+    program.append(_enc(T_STORE, 9, 1, 97))
+    program.append(_enc(T_STORE, 5, 1, 98))
+    program.append(_enc(T_STORE, 10, 1, 99))
+    # advance and loop.  Toy SUB computes rd = rd - rs, so build
+    # r6 = limit - i in two steps (r6 = limit, then r6 -= i); getting this
+    # wrong would let i run away and the r1-indexed stores would trample
+    # the toy program itself.
+    program.append(_enc(T_ADDI, 1, 1, 1))
+    program.append(_enc(T_AND, 6, 2, 0))             # r6 = limit & 0xFF
+    program.append(_enc(T_SUB, 6, 1, 0))             # r6 -= i
+    program.append(_enc(T_BNEZ, 0, 6, loop_top))
+    program.append(_enc(T_MOVI, 1, 0, 0))            # reset index
+    program.append(_enc(T_JMP, 0, 0, loop_top))      # restart forever
+    return program
+
+
+@dataclass(frozen=True)
+class M88ksimParams:
+    seed: int = 1997
+    toy_array_len: int = 24
+    #: bits of the decoded fields tested per instruction; 3 keeps the
+    #: 9-bit pattern-history window spanning ~2.5 simulated instructions,
+    #: enough context to identify the simulated pc
+    accounting_iterations: int = 3
+
+
+def build(params: M88ksimParams = M88ksimParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # ------------------------------------------------------------------
+    # Toy machine state in guest memory: 16 toy registers, then toy memory
+    # (the toy array at toy words 32.., results at 96..).
+    # ------------------------------------------------------------------
+    toy_regs = b.data_zeros(16)
+    toy_mem = b.data_zeros(160)
+    program_words = _toy_program(rng, params.toy_array_len)
+    toy_prog = b.data_table(program_words)
+    handlers = support.handler_labels("op", N_TOY_OPS)
+    dispatch_table = b.data_table(handlers)
+
+    # Fill the toy array host-side (via initialised data).
+    for i in range(params.toy_array_len):
+        b.data_word(rng.randrange(1, 200), address=toy_mem + (32 + i) * 4)
+
+    def toy_reg_addr(reg_field: int, scratch: int) -> None:
+        """scratch = &toy_regs[reg_field] (reg_field is a guest register)."""
+        b.shli(scratch, reg_field, 2)
+        b.addi(scratch, scratch, toy_regs)
+
+    # ------------------------------------------------------------------
+    # Fetch / decode / execute loop.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(SIMPC, 0)
+    b.li(ACC, 1)
+    b.label("fetch")
+    b.shli(T0, SIMPC, 2)
+    b.li(T1, toy_prog)
+    b.add(T0, T0, T1)
+    b.load(WORD, T0)
+    # decode fields
+    b.shri(OPC, WORD, 24)
+    b.andi(OPC, OPC, 0xFF)
+    b.shri(RD, WORD, 16)
+    b.andi(RD, RD, 0xFF)
+    b.shri(RS, WORD, 8)
+    b.andi(RS, RS, 0xFF)
+    b.andi(IMM, WORD, 0xFF)
+    b.addi(SIMPC, SIMPC, 1)  # default: next toy instruction
+    support.emit_dispatch(b, dispatch_table, OPC)
+
+    def read_toy(dst: int, reg_field: int) -> None:
+        toy_reg_addr(reg_field, T0)
+        b.load(dst, T0)
+
+    def write_toy(reg_field: int, src: int) -> None:
+        toy_reg_addr(reg_field, T0)
+        b.store(src, T0)
+
+    for op, name in enumerate(handlers):
+        b.label(name)
+        support.pad_handler(b, rng, 0, 3, acc_reg=ACC)
+        if op == T_NOP:
+            pass
+        elif op == T_ADD:
+            read_toy(VA, RD)
+            read_toy(VB, RS)
+            b.add(VA, VA, VB)
+            write_toy(RD, VA)
+        elif op == T_ADDI:
+            read_toy(VA, RD)
+            # imm 0xFF means -1 in the toy encoding
+            b.li(T2, 0xFF)
+            decr = b.unique_label("toy_decr")
+            after = b.unique_label("toy_addi_done")
+            b.beq(IMM, T2, decr)
+            b.add(VA, VA, IMM)
+            b.jmp(after)
+            b.label(decr)
+            b.addi(VA, VA, -1)
+            b.label(after)
+            write_toy(RD, VA)
+        elif op == T_SUB:
+            read_toy(VA, RD)
+            read_toy(VB, RS)
+            b.sub(VA, VA, VB)
+            write_toy(RD, VA)
+        elif op == T_SHL:
+            read_toy(VA, RD)
+            b.shli(VA, VA, 1)
+            b.andi(VA, VA, 0xFFFF)
+            write_toy(RD, VA)
+        elif op == T_AND:
+            read_toy(VA, RS)
+            b.andi(VA, VA, 0xFF)
+            write_toy(RD, VA)
+        elif op == T_XOR:
+            read_toy(VA, RD)
+            read_toy(VB, RS)
+            b.xor(VA, VA, VB)
+            write_toy(RD, VA)
+        elif op == T_LOAD:
+            read_toy(VA, RS)            # base index register
+            b.add(T2, VA, IMM)
+            b.shli(T2, T2, 2)
+            b.addi(T2, T2, toy_mem)
+            b.load(VB, T2)
+            write_toy(RD, VB)
+        elif op == T_STORE:
+            read_toy(VA, RS)
+            b.add(T2, VA, IMM)
+            b.shli(T2, T2, 2)
+            b.addi(T2, T2, toy_mem)
+            read_toy(VB, RD)
+            b.store(VB, T2)
+        elif op == T_MUL:
+            read_toy(VA, RD)
+            read_toy(VB, RS)
+            b.mul(VA, VA, VB)
+            b.andi(VA, VA, 0xFFFFF)
+            write_toy(RD, VA)
+        elif op in (T_BEQZ, T_BNEZ):
+            read_toy(VA, RS)
+            not_taken = b.unique_label("toy_nt")
+            if op == T_BEQZ:
+                b.bne(VA, 0, not_taken)
+            else:
+                b.beq(VA, 0, not_taken)
+            b.mov(SIMPC, IMM)           # toy branch target (word index)
+            b.label(not_taken)
+        elif op == T_JMP:
+            b.mov(SIMPC, IMM)
+        elif op == T_MOVI:
+            write_toy(RD, IMM)
+        # per-instruction accounting: branches on bits of the fetched
+        # word (deterministic per toy instruction), so the pattern history
+        # identifies the simulated pc — plus a short stats loop
+        # test the register-field bits: rs (bits 8..11) XOR rd (16..19)
+        # differ *within* the toy program's same-opcode runs, so the
+        # pattern history can tell run positions apart (the immediate
+        # field is often zero and would carry nothing)
+        b.shri(T0, WORD, 8)
+        b.xor(T0, T0, RD)
+        support.emit_operand_pad(b, T0, params.accounting_iterations,
+                                 rng, acc_reg=ACC, first_bit=0,
+                                 bit_modulo=6)
+        # straight-line accounting work (no constant-outcome loop branches,
+        # which would only dilute the history window)
+        b.addi(ACC, ACC, op)
+        b.andi(ACC, ACC, 0xFFFFF)
+        b.shri(T2, ACC, 3)
+        b.add(ACC, ACC, T2)
+        b.xori(ACC, ACC, 0x11)
+        b.addi(ACC, ACC, 1)
+        b.shri(T2, ACC, 2)
+        b.add(ACC, ACC, T2)
+        b.jmp("fetch")
+
+    return b.build(entry="main")

@@ -1,0 +1,233 @@
+"""Workload registry: name -> builder, with trace caching.
+
+Workload names match the paper's benchmark names so experiment tables read
+like the paper's.  Each entry records the paper statistics the workload was
+calibrated against (Table 1 BTB indirect misprediction rate and the Figures
+1-8 histogram character) — see each workload module's docstring for how the
+calibration is achieved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional
+
+from repro.guest.isa import GuestProgram
+from repro.guest.vm import run_program
+from repro.trace.io import cached_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry for one synthetic benchmark."""
+
+    name: str
+    module: str
+    params_class: str
+    build_function: str
+    description: str
+    #: BTB indirect-jump misprediction rate the paper reports (Table 1);
+    #: the synthetic workload is calibrated to land near this.
+    paper_btb_mispred: float
+    #: Qualitative Figures 1-8 shape: "many" = most jumps have 10+ targets,
+    #: "few" = dominated by jumps with <= a handful of targets.
+    paper_target_shape: str
+
+    def _module(self):
+        return importlib.import_module(self.module)
+
+    def default_params(self, seed: Optional[int] = None) -> Any:
+        params_cls = getattr(self._module(), self.params_class)
+        if seed is None:
+            return params_cls()
+        return params_cls(seed=seed)
+
+    def build(self, params: Any = None, seed: Optional[int] = None) -> GuestProgram:
+        module = self._module()
+        if params is None:
+            params = self.default_params(seed)
+        return getattr(module, self.build_function)(params)
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="compress",
+            module="repro.workloads.compress_like",
+            params_class="CompressParams",
+            build_function="build",
+            description="LZW-style compressor: hash probes, bit packing, "
+                        "one heavily skewed dispatch",
+            paper_btb_mispred=0.144,
+            paper_target_shape="few",
+        ),
+        WorkloadSpec(
+            name="gcc",
+            module="repro.workloads.gcc_like",
+            params_class="GccParams",
+            build_function="build",
+            description="compiler passes walking ASTs through many static "
+                        "switch statements",
+            paper_btb_mispred=0.660,
+            paper_target_shape="many",
+        ),
+        WorkloadSpec(
+            name="go",
+            module="repro.workloads.go_like",
+            params_class="GoParams",
+            build_function="build",
+            description="board scanner with data-dependent pattern dispatch "
+                        "and hard-to-predict conditionals",
+            paper_btb_mispred=0.376,
+            paper_target_shape="few",
+        ),
+        WorkloadSpec(
+            name="ijpeg",
+            module="repro.workloads.ijpeg_like",
+            params_class="IjpegParams",
+            build_function="build",
+            description="DCT-style block transforms with a skewed "
+                        "coefficient-class dispatch",
+            paper_btb_mispred=0.113,
+            paper_target_shape="few",
+        ),
+        WorkloadSpec(
+            name="m88ksim",
+            module="repro.workloads.m88ksim_like",
+            params_class="M88ksimParams",
+            build_function="build",
+            description="CPU simulator decoding a looping toy-processor "
+                        "program through an opcode switch",
+            paper_btb_mispred=0.373,
+            paper_target_shape="moderate",
+        ),
+        WorkloadSpec(
+            name="perl",
+            module="repro.workloads.perl_like",
+            params_class="PerlParams",
+            build_function="build",
+            description="bytecode interpreter re-processing a looping token "
+                        "script (the paper's flagship path-history case)",
+            paper_btb_mispred=0.762,
+            paper_target_shape="many",
+        ),
+        WorkloadSpec(
+            name="vortex",
+            module="repro.workloads.vortex_like",
+            params_class="VortexParams",
+            build_function="build",
+            description="OO-database method calls through per-class function "
+                        "tables, receivers in homogeneous runs",
+            paper_btb_mispred=0.083,
+            paper_target_shape="few",
+        ),
+        WorkloadSpec(
+            name="xlisp",
+            module="repro.workloads.xlisp_like",
+            params_class="XlispParams",
+            build_function="build",
+            description="tag-dispatched expression evaluator with a "
+                        "mark-sweep-style heap scan",
+            paper_btb_mispred=0.207,
+            paper_target_shape="few",
+        ),
+    ]
+}
+
+
+#: The paper's §5 future work: C++-style object-oriented workloads with
+#: virtual dispatch.  Kept in a separate registry so the SPECint95 tables
+#: stay exactly eight rows; ``repro.experiments.oo_future_work`` uses them.
+OO_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="richards",
+            module="repro.workloads.richards_like",
+            params_class="RichardsParams",
+            build_function="build",
+            description="OS-simulation kernel: a scheduler dispatching "
+                        "polymorphic task run methods",
+            paper_btb_mispred=0.50,  # no paper number; expectation only
+            paper_target_shape="moderate",
+        ),
+        WorkloadSpec(
+            name="deltablue",
+            module="repro.workloads.deltablue_like",
+            params_class="DeltablueParams",
+            build_function="build",
+            description="constraint solver executing plans of virtual "
+                        "execute/check methods",
+            paper_btb_mispred=0.70,  # no paper number; expectation only
+            paper_target_shape="many",
+        ),
+    ]
+}
+
+#: Combined lookup used by get_trace / build_program.
+_ALL_WORKLOADS: Dict[str, WorkloadSpec] = {**WORKLOADS, **OO_WORKLOADS}
+
+
+def workload_names(include_oo: bool = False) -> List[str]:
+    names = sorted(WORKLOADS)
+    if include_oo:
+        names += sorted(OO_WORKLOADS)
+    return names
+
+
+def build_program(name: str, seed: Optional[int] = None) -> GuestProgram:
+    """Assemble the named workload's guest program."""
+    if name not in _ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names(include_oo=True))}"
+        )
+    return _ALL_WORKLOADS[name].build(seed=seed)
+
+
+def get_trace(name: str, n_instructions: int = 400_000, seed: int = 1997,
+              use_cache: bool = True) -> Trace:
+    """Return a validated trace of the named workload.
+
+    Traces are cached on disk (see :func:`repro.trace.io.cached_trace`)
+    keyed by (name, length, seed); pass ``use_cache=False`` to force
+    regeneration.
+    """
+    if name not in _ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names(include_oo=True))}"
+        )
+
+    def generate() -> Trace:
+        program = _ALL_WORKLOADS[name].build(seed=seed)
+        trace = Trace.from_raw(run_program(program, max_instructions=n_instructions))
+        trace.validate()
+        return trace
+
+    if not use_cache:
+        return generate()
+    fingerprint = _code_fingerprint(_ALL_WORKLOADS[name].module)
+    key = f"{name}_n{n_instructions}_s{seed}_{fingerprint}"
+    return cached_trace(key, generate)
+
+
+@lru_cache(maxsize=None)
+def _code_fingerprint(module_name: str) -> str:
+    """Short hash of the sources that determine a workload's trace.
+
+    Included in the cache key so editing a workload (or the shared
+    emitters / VM) invalidates stale cached traces automatically.
+    """
+    digest = hashlib.md5()
+    for mod in (module_name, "repro.workloads.support", "repro.guest.vm",
+                "repro.guest.builder"):
+        module = importlib.import_module(mod)
+        with open(module.__file__, "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()[:10]

@@ -1,0 +1,208 @@
+"""richards-like OO workload: an OS task scheduler with virtual dispatch.
+
+The paper closes with: "For object oriented programs where more indirect
+branches may be executed, tagged caches should provide even greater
+performance benefits.  In the future, we will evaluate the performance
+benefit of target caches for C++ benchmarks."  Richards (the OS-simulation
+kernel benchmark, a staple of the later Driesen/Hölzle indirect-branch
+studies) is the canonical such program: a scheduler repeatedly selects the
+highest-priority runnable task and invokes its virtual ``run`` method.
+
+Guest structure:
+
+* five task "classes" (idle, worker, device, handler-A, handler-B), each a
+  ``run`` routine reached through a per-task function pointer — one hot
+  indirect call site with five targets;
+* task records ``[state, vtable-ptr, priority, work-counter]`` in guest
+  memory; the scheduler scans them for the highest-priority runnable one
+  (data-dependent conditionals);
+* ``run`` methods move work between tasks (stores), block themselves and
+  wake others — so the dynamic receiver sequence is the scheduling pattern:
+  strongly structured but polymorphic, the regime where history-indexed
+  target prediction shines and a BTB struggles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import RNG, T0, T1, T2, T3
+
+N_TASKS = 6   # one idle task + five real ones (types may repeat)
+N_TYPES = 5
+
+# task record layout (words): state (0 blocked / 1 runnable), run-ptr,
+# priority, work counter
+_TASK_WORDS = 4
+_OFF_STATE, _OFF_RUN, _OFF_PRIO, _OFF_WORK = 0, 4, 8, 12
+
+# Guest registers
+TASK = 12    # current task pointer
+BEST = 13    # best candidate task pointer during the scan
+BESTP = 14   # best candidate priority
+IDX = 10     # scan index
+ACC = 20
+
+
+@dataclass(frozen=True)
+class RichardsParams:
+    seed: int = 1997
+    #: work units a worker performs before blocking
+    worker_quantum: int = 3
+    #: padding inside each run method (density calibration)
+    method_pad: int = 4
+
+
+def build(params: RichardsParams = RichardsParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # ------------------------------------------------------------------
+    # Task table: type per slot (idle, worker, worker, device, hA, hB).
+    # ------------------------------------------------------------------
+    task_types = [0, 1, 1, 2, 3, 4]
+    type_names = ["run_idle", "run_worker", "run_device", "run_handler_a",
+                  "run_handler_b"]
+
+    tasks_base = b.data_cursor
+
+    def task_address(index: int) -> int:
+        return tasks_base + index * _TASK_WORDS * 4
+
+    flat = []
+    for i, task_type in enumerate(task_types):
+        flat.extend([
+            1,                      # runnable
+            0,                      # run-ptr (label fixed up below)
+            (i * 3 + 2) % 7 + 1,    # priority
+            0,                      # work counter
+        ])
+    placed = b.data_table(flat)
+    assert placed == tasks_base
+    # patch the run pointers with label fixups
+    for i, task_type in enumerate(task_types):
+        b.data_word(type_names[task_type],
+                    address=task_address(i) + _OFF_RUN)
+
+    def other_task(index: int, offset: int) -> int:
+        return task_address((index + offset) % N_TASKS)
+
+    # ------------------------------------------------------------------
+    # run methods.  Convention: TASK holds the receiver; methods may
+    # block the receiver ([state]=0) and wake another task ([state]=1).
+    # ------------------------------------------------------------------
+    def method_prologue(name: str) -> None:
+        b.label(name)
+        support.pad_handler(b, rng, 1, params.method_pad, acc_reg=ACC)
+
+    method_prologue("run_idle")
+    # idle spins briefly and wakes a pseudo-random task
+    support.emit_random_bit(b, T2, bit=11)
+    b.shli(T2, T2, 1)
+    b.addi(T2, T2, 1)          # 1 or 3
+    b.li(T0, _TASK_WORDS * 4)
+    b.mul(T2, T2, T0)
+    b.addi(T2, T2, tasks_base)
+    b.li(T3, 1)
+    b.store(T3, T2, _OFF_STATE)
+    b.ret()
+
+    method_prologue("run_worker")
+    # do a quantum of work, then block self and wake the device task
+    b.load(T2, TASK, _OFF_WORK)
+    b.addi(T2, T2, 1)
+    b.store(T2, TASK, _OFF_WORK)
+    b.li(T3, params.worker_quantum)
+    b.mod(T0, T2, T3)
+    keep_running = b.unique_label("worker_keep")
+    b.bne(T0, 0, keep_running)
+    b.store(0, TASK, _OFF_STATE)              # block self
+    b.li(T3, 1)
+    b.li(T0, task_address(3))                 # wake the device task
+    b.store(T3, T0, _OFF_STATE)
+    b.label(keep_running)
+    b.li(T3, 2)
+    support.emit_work_loop(b, b.unique_label("worker_work"), T3,
+                           counter_reg=T2)
+    b.ret()
+
+    method_prologue("run_device")
+    # simulate an I/O completion: block self, wake both handlers
+    b.store(0, TASK, _OFF_STATE)
+    b.li(T3, 1)
+    b.li(T0, task_address(4))
+    b.store(T3, T0, _OFF_STATE)
+    b.li(T0, task_address(5))
+    b.store(T3, T0, _OFF_STATE)
+    b.ret()
+
+    method_prologue("run_handler_a")
+    # consume a packet: data-dependent branch on the work counter parity
+    b.load(T2, TASK, _OFF_WORK)
+    b.addi(T2, T2, 1)
+    b.store(T2, TASK, _OFF_WORK)
+    b.andi(T0, T2, 1)
+    done = b.unique_label("ha_done")
+    b.beq(T0, 0, done)
+    b.store(0, TASK, _OFF_STATE)              # block after odd packets
+    b.li(T3, 1)
+    b.li(T0, task_address(1))                 # wake worker 1
+    b.store(T3, T0, _OFF_STATE)
+    b.label(done)
+    b.ret()
+
+    method_prologue("run_handler_b")
+    b.load(T2, TASK, _OFF_WORK)
+    b.addi(T2, T2, 2)
+    b.store(T2, TASK, _OFF_WORK)
+    b.store(0, TASK, _OFF_STATE)              # always blocks
+    b.li(T3, 1)
+    b.li(T0, task_address(2))                 # wake worker 2
+    b.store(T3, T0, _OFF_STATE)
+    b.ret()
+
+    # ------------------------------------------------------------------
+    # Scheduler: scan for the highest-priority runnable task; if none is
+    # runnable, wake the idle task.  Then dispatch through the task's
+    # run pointer — the hot indirect call site.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(RNG, params.seed & 0xFFFF)
+    b.label("schedule")
+    b.li(BEST, 0)
+    b.li(BESTP, -1)
+    b.li(IDX, 0)
+    b.label("scan")
+    b.li(T0, _TASK_WORDS * 4)
+    b.mul(T0, IDX, T0)
+    b.addi(TASK, T0, tasks_base)
+    b.load(T1, TASK, _OFF_STATE)
+    skip = b.unique_label("scan_skip")
+    b.beq(T1, 0, skip)                        # blocked
+    b.load(T2, TASK, _OFF_PRIO)
+    b.bge(BESTP, T2, skip)                    # not better
+    b.mov(BEST, TASK)
+    b.mov(BESTP, T2)
+    b.label(skip)
+    b.addi(IDX, IDX, 1)
+    b.li(T3, N_TASKS)
+    b.blt(IDX, T3, "scan")
+    # nothing runnable? wake idle (slot 0)
+    run_it = b.unique_label("run_it")
+    b.bne(BEST, 0, run_it)
+    b.li(BEST, tasks_base)
+    b.li(T3, 1)
+    b.store(T3, BEST, _OFF_STATE)
+    b.label(run_it)
+    b.mov(TASK, BEST)
+    b.load(T1, TASK, _OFF_RUN)
+    b.callr(T1)                               # virtual dispatch
+    b.jmp("schedule")
+
+    return b.build(entry="main")

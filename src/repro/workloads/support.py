@@ -1,0 +1,215 @@
+"""Shared building blocks for the synthetic workloads.
+
+Guest-side helpers emit common code shapes (jump-table dispatch, a linear
+congruential generator for data-dependent branches, bounded work loops);
+host-side helpers generate the data the workloads consume (token scripts,
+Markov sequences, skewed categorical draws) with seeded ``random.Random``
+instances so every trace is reproducible.
+
+Register conventions used by all workloads (nothing enforces these; they
+just keep the emitters composable):
+
+* r1-r9    expression temporaries (freely clobbered by helpers)
+* r10-r19  loop counters and pointers owned by the main loop
+* r20-r27  workload accumulators / state
+* r28      guest LCG state
+* r29      call-scratch (helpers may clobber)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import INSTRUCTION_BYTES
+
+# Expression temporaries (clobbered by emit_* helpers).
+T0, T1, T2, T3 = 1, 2, 3, 4
+#: Guest LCG state register.
+RNG = 28
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_MASK = 0x3FFFFFFF
+
+
+def emit_dispatch(b: ProgramBuilder, table_base: int, token_reg: int,
+                  t_addr: int = T0, t_handler: int = T1) -> int:
+    """Emit a jump-table dispatch: ``jr table[token_reg]``.
+
+    Returns the address of the ``jr`` instruction (the static indirect jump
+    the target cache will predict).  ``t_addr``/``t_handler`` are scratch.
+    """
+    b.shli(t_addr, token_reg, 2)
+    b.li(t_handler, table_base)
+    b.add(t_addr, t_addr, t_handler)
+    b.load(t_handler, t_addr)
+    return b.jr(t_handler)
+
+
+def emit_call_dispatch(b: ProgramBuilder, table_base: int, token_reg: int,
+                       t_addr: int = T0, t_handler: int = T1) -> int:
+    """Like :func:`emit_dispatch` but via an indirect call (``callr``).
+
+    Used by the OO-style workloads (vortex/xlisp) whose dispatch is a
+    virtual method call rather than a switch.
+    """
+    b.shli(t_addr, token_reg, 2)
+    b.li(t_handler, table_base)
+    b.add(t_addr, t_addr, t_handler)
+    b.load(t_handler, t_addr)
+    return b.callr(t_handler)
+
+
+def emit_lcg_step(b: ProgramBuilder, state_reg: int = RNG, t: int = T3) -> None:
+    """Advance the guest LCG: ``state = (state * A + C) & MASK``.
+
+    Gives workloads cheap data-dependent values for hard-to-predict
+    conditional branches without host-side precomputation.
+    """
+    b.li(t, _LCG_A)
+    b.mul(state_reg, state_reg, t)
+    b.addi(state_reg, state_reg, _LCG_C)
+    b.andi(state_reg, state_reg, _LCG_MASK)
+
+
+def emit_random_bit(b: ProgramBuilder, out_reg: int, bit: int = 16,
+                    state_reg: int = RNG, t: int = T3) -> None:
+    """``out = (lcg_step() >> bit) & 1`` — a ~50/50 unpredictable bit."""
+    emit_lcg_step(b, state_reg, t)
+    b.shri(out_reg, state_reg, bit)
+    b.andi(out_reg, out_reg, 1)
+
+
+def emit_work_loop(b: ProgramBuilder, label: str, iterations_reg: int,
+                   body: Optional[Callable[[], None]] = None,
+                   counter_reg: int = T2) -> None:
+    """Emit a simple counted loop running ``iterations_reg`` times.
+
+    ``body`` emits the loop body (default: one accumulating add).  Used to
+    pad handlers with realistic work so the dynamic indirect-jump density
+    lands near the paper's 0.5-1.5% of instructions rather than the ~7% a
+    bare dispatch loop would have.
+    """
+    b.li(counter_reg, 0)
+    b.label(label)
+    if body is not None:
+        body()
+    else:
+        b.addi(20, 20, 1)
+    b.addi(counter_reg, counter_reg, 1)
+    b.blt(counter_reg, iterations_reg, label)
+
+
+def emit_operand_pad(b: ProgramBuilder, value_reg: int, n_branches: int,
+                     rng: random.Random, acc_reg: int = 20,
+                     first_bit: int = 0, bit_modulo: int = 12) -> None:
+    """Emit a chain of short conditional branches testing successive bits
+    of ``value_reg``, with small filler arms.
+
+    This is the padding style that keeps the *global pattern history*
+    informative: each branch outcome is a bit of the handler's operand
+    (deterministic for a given script position / AST node / decoded
+    instruction), so the last-9-outcomes history register identifies the
+    recent dynamic context — the correlation the paper's pattern-history
+    target cache exploits.  A single long uniform loop would instead flood
+    the history window with taken bits and carry no information.
+    """
+    for j in range(n_branches):
+        bit = (first_bit + j) % bit_modulo
+        b.shri(T3, value_reg, bit)
+        b.andi(T3, T3, 1)
+        skip = b.unique_label("pad_skip")
+        b.beq(T3, 0, skip)
+        b.addi(acc_reg, acc_reg, rng.randint(1, 9))
+        if rng.random() < 0.5:
+            b.xori(acc_reg, acc_reg, rng.randint(1, 63))
+        b.label(skip)
+        b.andi(acc_reg, acc_reg, 0xFFFFF)
+        if rng.random() < 0.4:
+            b.shri(T3, acc_reg, 2)
+
+
+def handler_labels(stem: str, count: int) -> List[str]:
+    """Names for ``count`` dispatch handlers."""
+    return [f"{stem}_{i}" for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Host-side data generation
+# ----------------------------------------------------------------------
+
+def zipf_weights(k: int, s: float = 1.0) -> List[float]:
+    """Zipf-like weights for ``k`` categories (rank-frequency ~ 1/rank^s)."""
+    return [1.0 / (rank ** s) for rank in range(1, k + 1)]
+
+
+def weighted_sequence(rng: random.Random, n: int, weights: Sequence[float]) -> List[int]:
+    """Draw ``n`` i.i.d. category indices with the given weights."""
+    categories = list(range(len(weights)))
+    return rng.choices(categories, weights=weights, k=n)
+
+
+def markov_sequence(rng: random.Random, n: int, k: int,
+                    self_bias: float = 0.0,
+                    weights: Optional[Sequence[float]] = None) -> List[int]:
+    """Draw a category sequence with tunable self-transition probability.
+
+    ``self_bias`` is the probability of repeating the previous category; the
+    complement is drawn from ``weights`` (uniform by default).  The expected
+    fraction of *changed* consecutive categories calibrates the last-target
+    (BTB) misprediction rate of a dispatch driven by the sequence.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    base = list(weights) if weights is not None else [1.0] * k
+    categories = list(range(k))
+    sequence: List[int] = []
+    previous = rng.choices(categories, weights=base, k=1)[0]
+    for _ in range(n):
+        if sequence and rng.random() < self_bias:
+            value = previous
+        else:
+            value = rng.choices(categories, weights=base, k=1)[0]
+        sequence.append(value)
+        previous = value
+    return sequence
+
+
+def transition_fraction(sequence: Sequence[int]) -> float:
+    """Fraction of consecutive pairs that differ (calibration aid)."""
+    if len(sequence) < 2:
+        return 0.0
+    changes = sum(1 for a, b in zip(sequence, sequence[1:]) if a != b)
+    return changes / (len(sequence) - 1)
+
+
+def pad_handler(b: ProgramBuilder, rng: random.Random, min_ops: int,
+                max_ops: int, acc_reg: int = 20) -> None:
+    """Emit a random-length straight-line body of mixed ALU work.
+
+    Randomising the length makes handler start addresses differ in their
+    low bits, which the paper's Table 5 path-history experiments rely on
+    (low target-address bits must carry information).
+    """
+    ops = rng.randint(min_ops, max_ops)
+    for _ in range(ops):
+        choice = rng.randrange(6)
+        if choice == 0:
+            b.addi(acc_reg, acc_reg, rng.randint(1, 7))
+        elif choice == 1:
+            b.xori(acc_reg, acc_reg, rng.randint(1, 255))
+        elif choice == 2:
+            b.shli(T3, acc_reg, rng.randint(1, 3))
+        elif choice == 3:
+            b.andi(acc_reg, acc_reg, 0xFFFFF)
+        elif choice == 4:
+            b.add(acc_reg, acc_reg, T3)
+        else:
+            b.shri(T3, acc_reg, rng.randint(1, 4))
+
+
+def word_offset(index: int) -> int:
+    """Byte offset of the ``index``-th word of a guest table."""
+    return index * INSTRUCTION_BYTES

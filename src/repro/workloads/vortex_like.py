@@ -1,0 +1,153 @@
+"""vortex-like workload: OO-database method calls through class tables.
+
+vortex is an object-oriented database written in C with explicit
+function-pointer "method" tables.  Its indirect calls are numerous but
+*well-behaved*: each call site is dominated by one receiver class at a
+time, so a BTB's last-target prediction is wrong only ~8% of the time
+(paper Table 1) — the benchmark where the target cache has the least to
+win, and where the 2-bit update strategy *increases* mispredictions
+(Table 2).
+
+Structure: six "classes", each with a table of three method pointers; a
+collection of objects whose class sequence is generated with strong
+self-bias (homogeneous runs); a main loop performing three operations per
+object through three distinct indirect-call sites; methods of varying
+length, one of which probes a hash index (load-heavy with data-dependent
+conditionals).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import RNG, T0, T1, T2, T3
+
+N_CLASSES = 6
+N_OPS = 3
+
+# Guest registers
+OBJI = 10   # object index
+OBJ = 12    # object pointer
+CLS = 13    # object class id
+FLD = 14    # object field value
+ACC = 20
+
+# Object layout (words): class, key, payload, spare
+_OBJ_WORDS = 4
+
+
+@dataclass(frozen=True)
+class VortexParams:
+    seed: int = 1997
+    n_objects: int = 160
+    #: probability the next object repeats the previous class; calibrates
+    #: the BTB misprediction rate to the paper's ~8%
+    class_self_bias: float = 0.90
+    hash_table_words: int = 128
+
+
+def build(params: VortexParams = VortexParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # ------------------------------------------------------------------
+    # Shared helper: hash-index probe (memory traffic + conditionals).
+    # ------------------------------------------------------------------
+    hash_base = b.data_zeros(params.hash_table_words)
+    b.label("probe")
+    b.andi(T2, FLD, params.hash_table_words - 1)
+    b.shli(T2, T2, 2)
+    b.addi(T2, T2, hash_base)
+    b.load(T3, T2)
+    found = b.unique_label("probe_found")
+    b.beq(T3, FLD, found)
+    b.store(FLD, T2)
+    b.addi(ACC, ACC, 1)
+    b.label(found)
+    b.ret()
+
+    # ------------------------------------------------------------------
+    # Methods: N_CLASSES x N_OPS small routines of varying length.
+    # ------------------------------------------------------------------
+    method_names: List[str] = []
+    for cls in range(N_CLASSES):
+        for op in range(N_OPS):
+            name = f"m_c{cls}_o{op}"
+            method_names.append(name)
+            b.label(name)
+            support.pad_handler(b, rng, 1, 6, acc_reg=ACC)
+            if op == 0:       # "lookup": read fields, probe the index
+                b.load(FLD, OBJ, 4)
+                b.call("probe")
+                b.add(ACC, ACC, FLD)
+            elif op == 1:     # "update": mutate the payload field
+                b.load(FLD, OBJ, 8)
+                b.addi(FLD, FLD, cls + 1)
+                b.andi(FLD, FLD, 0xFFFF)
+                b.store(FLD, OBJ, 8)
+            else:             # "validate": branch on a payload predicate
+                b.load(FLD, OBJ, 8)
+                b.andi(T2, FLD, 1)
+                ok = b.unique_label(f"val_ok_{cls}")
+                b.beq(T2, 0, ok)
+                b.xori(ACC, ACC, cls)
+                b.label(ok)
+                b.li(T3, 4 + cls)
+                support.emit_work_loop(
+                    b, b.unique_label(f"val_work_{cls}"), T3, counter_reg=T2
+                )
+            b.ret()
+
+    # Method tables: one table per class, three pointers each, flattened.
+    method_table = b.data_table(method_names)
+
+    # ------------------------------------------------------------------
+    # Objects: class sequence in homogeneous runs.
+    # ------------------------------------------------------------------
+    classes = support.markov_sequence(
+        rng, params.n_objects, N_CLASSES, self_bias=params.class_self_bias
+    )
+    objects_base = b.data_cursor
+    flat: List[int] = []
+    for cls in classes:
+        flat.extend([cls, rng.randrange(1, 1 << 12), rng.randrange(1, 1 << 12), 0])
+    placed = b.data_table(flat)
+    assert placed == objects_base
+
+    # ------------------------------------------------------------------
+    # Main loop: three ops per object, each a distinct indirect-call site.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(RNG, params.seed & 0xFFFF)
+    b.label("outer")
+    b.li(OBJI, 0)
+    b.label("obj_loop")
+    b.li(T0, _OBJ_WORDS * 4)
+    b.mul(T0, OBJI, T0)
+    b.addi(OBJ, T0, objects_base)
+    b.load(CLS, OBJ, 0)
+    for op in range(N_OPS):
+        # method = method_table[cls * N_OPS + op]
+        b.li(T0, N_OPS)
+        b.mul(T0, CLS, T0)
+        b.addi(T0, T0, op)
+        b.shli(T0, T0, 2)
+        b.addi(T0, T0, method_table)
+        b.load(T1, T0)
+        b.callr(T1)
+        # inter-call work: key comparison loop (B-tree descent stand-in)
+        b.li(T3, 5)
+        support.emit_work_loop(b, b.unique_label(f"descend_{op}"), T3, counter_reg=T2)
+    b.addi(OBJI, OBJI, 1)
+    b.li(T3, params.n_objects)
+    b.blt(OBJI, T3, "obj_loop")
+    b.jmp("outer")
+
+    return b.build(entry="main")

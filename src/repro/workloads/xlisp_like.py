@@ -1,0 +1,298 @@
+"""xlisp-like workload: a tag-dispatched expression evaluator with GC scans.
+
+xlisp (a small Lisp interpreter) dispatches on object *type tags* — a
+switch over a handful of types, most of whose dynamic instances are
+fixnums and cons cells.  The tag stream therefore has long same-tag runs,
+so a BTB is wrong only ~21% of the time (paper Table 1), and the 2-bit
+update strategy *hurts* (Table 2) because when the tag does change it
+usually stays changed.
+
+Structure: a heap of 4-word tagged cells built host-side (expression trees
+whose argument lists are fixnum-heavy), an ``eval`` routine with a 7-way
+tag switch (static indirect jump #1) whose cons handler applies a builtin
+through a function-pointer table (indirect call site), and a mark-phase
+heap scan with its own tag switch (static indirect jump #2) executed every
+outer iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import T0, T1, T2, T3
+
+# Tags
+TAG_FIXNUM, TAG_CONS, TAG_SYMBOL, TAG_STRING, TAG_FLONUM, TAG_VECTOR, TAG_NIL = range(7)
+N_TAGS = 7
+
+# Cell layout (words): tag, a, b, c
+#   fixnum: a = value
+#   cons:   a = car ptr, b = cdr ptr, c = builtin id (0..7)
+#   symbol: a = binding cell ptr
+#   string: a = length (1..8), b = hash seed
+#   vector: a = elem0 ptr, b = elem1 ptr
+#   flonum: a = value
+_CELL_WORDS = 4
+
+# Guest registers
+SP = 11    # guest save-stack pointer
+OBJ = 12   # current object pointer
+TAG = 13   # current tag
+VAL = 14
+ACC = 20
+EXPR = 15  # top-level expression index
+HEAPI = 16  # heap scan index
+
+
+@dataclass(frozen=True)
+class XlispParams:
+    seed: int = 1997
+    n_expressions: int = 36
+    max_depth: int = 6
+    #: probability an argument is a fixnum (tag-run calibration lever)
+    fixnum_bias: float = 0.85
+    #: number of linear GC phases per outer iteration (mark / sweep /
+    #: compact).  GC dispatches dominate the indirect-jump stream, and —
+    #: because xlisp allocates from per-type segments, which this workload
+    #: models by tag-sorting the heap — their tag runs are long, pulling
+    #: the overall BTB misprediction rate down to the paper's ~21%.
+    gc_phases: int = 3
+
+
+class _HeapGen:
+    """Host-side heap builder; cells are [tag, a, b, c] word records."""
+
+    def __init__(self, rng: random.Random, params: XlispParams) -> None:
+        self.rng = rng
+        self.params = params
+        self.cells: List[List[int]] = []
+        # a shared binding cell for symbols
+        self.binding = self._alloc(TAG_FIXNUM, a=42)
+
+    def _alloc(self, tag: int, a: int = 0, b: int = 0, c: int = 0) -> int:
+        self.cells.append([tag, a, b, c])
+        return len(self.cells) - 1
+
+    def atom(self) -> int:
+        rng = self.rng
+        if rng.random() < self.params.fixnum_bias:
+            return self._alloc(TAG_FIXNUM, a=rng.randrange(1, 500))
+        roll = rng.random()
+        if roll < 0.3:
+            return self._alloc(TAG_SYMBOL, a=self.binding)
+        if roll < 0.55:
+            return self._alloc(TAG_STRING, a=rng.randrange(1, 8),
+                               b=rng.randrange(1, 97))
+        if roll < 0.75:
+            return self._alloc(TAG_FLONUM, a=rng.randrange(1, 100))
+        if roll < 0.9:
+            return self._alloc(TAG_NIL)
+        return self._alloc(TAG_VECTOR, a=self.atom(), b=self.atom())
+
+    def expression(self, depth: int = 0) -> int:
+        rng = self.rng
+        if depth >= self.params.max_depth or rng.random() < 0.35 + 0.08 * depth:
+            return self.atom()
+        car = self.expression(depth + 1)
+        cdr = self.expression(depth + 1)
+        builtin = rng.choices(range(8), weights=[5, 4, 3, 2, 2, 1, 1, 1], k=1)[0]
+        return self._alloc(TAG_CONS, a=car, b=cdr, c=builtin)
+
+
+def build(params: XlispParams = XlispParams()) -> GuestProgram:
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # ------------------------------------------------------------------
+    # eval: dispatch on tag.
+    # ------------------------------------------------------------------
+    tag_handlers = [f"ev_{t}" for t in range(N_TAGS)]
+    tag_table = b.data_table(tag_handlers)
+    builtin_names = [f"builtin_{i}" for i in range(8)]
+    builtin_table = b.data_table(builtin_names)
+    gc_tables = [
+        b.data_table([f"gc{phase}_{t}" for t in range(N_TAGS)])
+        for phase in range(params.gc_phases)
+    ]
+
+    b.label("eval")
+    b.load(TAG, OBJ, 0)
+    support.emit_dispatch(b, tag_table, TAG)
+
+    b.label("ev_0")  # fixnum
+    b.load(VAL, OBJ, 4)
+    b.add(ACC, ACC, VAL)
+    b.andi(T3, VAL, 3)
+    b.addi(T3, T3, 2)
+    support.emit_work_loop(b, "ev_fix_work", T3, counter_reg=T2)
+    b.ret()
+
+    b.label("ev_1")  # cons: eval car, eval cdr, apply builtin
+    b.store(OBJ, SP)
+    b.addi(SP, SP, 4)
+    b.load(OBJ, OBJ, 4)
+    b.call("eval")
+    b.addi(SP, SP, -4)
+    b.load(OBJ, SP)
+    b.store(OBJ, SP)
+    b.addi(SP, SP, 4)
+    b.load(OBJ, OBJ, 8)
+    b.call("eval")
+    b.addi(SP, SP, -4)
+    b.load(OBJ, SP)
+    b.load(T2, OBJ, 12)           # builtin id
+    support.emit_call_dispatch(b, builtin_table, T2)
+    b.ret()
+
+    b.label("ev_2")  # symbol: follow the binding
+    b.load(T2, OBJ, 4)
+    b.load(VAL, T2, 4)
+    b.add(ACC, ACC, VAL)
+    b.xori(ACC, ACC, 0x21)
+    b.ret()
+
+    b.label("ev_3")  # string: hash its characters
+    b.load(T2, OBJ, 4)            # length
+    b.load(VAL, OBJ, 8)           # seed
+    b.li(T3, 0)
+    b.label("ev_str_loop")
+    b.shli(VAL, VAL, 1)
+    b.xori(VAL, VAL, 0x35)
+    b.andi(VAL, VAL, 0xFFFF)
+    b.addi(T3, T3, 1)
+    b.blt(T3, T2, "ev_str_loop")
+    b.add(ACC, ACC, VAL)
+    b.ret()
+
+    b.label("ev_4")  # flonum
+    b.load(VAL, OBJ, 4)
+    b.fadd(25, 25, VAL)
+    b.fmul(25, 25, 26)
+    b.ret()
+
+    b.label("ev_5")  # vector: eval both elements
+    b.store(OBJ, SP)
+    b.addi(SP, SP, 4)
+    b.load(OBJ, OBJ, 4)
+    b.call("eval")
+    b.addi(SP, SP, -4)
+    b.load(OBJ, SP)
+    b.store(OBJ, SP)
+    b.addi(SP, SP, 4)
+    b.load(OBJ, OBJ, 8)
+    b.call("eval")
+    b.addi(SP, SP, -4)
+    b.load(OBJ, SP)
+    b.ret()
+
+    b.label("ev_6")  # nil
+    b.addi(ACC, ACC, 1)
+    b.ret()
+
+    # builtins: small variable-length bodies
+    for i, name in enumerate(builtin_names):
+        b.label(name)
+        support.pad_handler(b, rng, 1, 4, acc_reg=ACC)
+        if i % 3 == 0:
+            b.add(ACC, ACC, VAL)
+        elif i % 3 == 1:
+            b.sub(ACC, ACC, VAL)
+        else:
+            b.shri(T0, ACC, 2)
+            b.xor(ACC, ACC, T0)
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Heap data: expressions, then the flat cell array for the GC scan.
+    # ------------------------------------------------------------------
+    gen = _HeapGen(rng, params)
+    roots = [gen.expression() for _ in range(params.n_expressions)]
+
+    # xlisp allocates objects from per-type segments; model that by
+    # tag-sorting the heap (stable, so within a tag the allocation order
+    # is preserved) and remapping every pointer field.
+    order = sorted(range(len(gen.cells)), key=lambda i: gen.cells[i][0])
+    remap = {old: new for new, old in enumerate(order)}
+    sorted_cells = [gen.cells[i] for i in order]
+    roots = [remap[r] for r in roots]
+
+    heap_base = b.data_cursor
+
+    def cell_address(index: int) -> int:
+        return heap_base + index * _CELL_WORDS * 4
+
+    flat: List[int] = []
+    for tag, a_field, b_field, c in sorted_cells:
+        if tag in (TAG_CONS, TAG_VECTOR):
+            a_field = cell_address(remap[a_field])
+            b_field = cell_address(remap[b_field])
+        elif tag == TAG_SYMBOL:
+            a_field = cell_address(remap[a_field])
+        flat.extend([tag, a_field, b_field, c])
+    placed = b.data_table(flat)
+    assert placed == heap_base
+    roots_base = b.data_table([cell_address(r) for r in roots])
+    mark_base = b.data_zeros(len(gen.cells))
+    stack_base = b.data_zeros(1024)
+    n_cells = len(gen.cells)
+
+    # ------------------------------------------------------------------
+    # GC phases: linear scans, each with its own tag switch (mark, sweep,
+    # compact — distinct static indirect jumps over the same tag stream).
+    # ------------------------------------------------------------------
+    for phase in range(params.gc_phases):
+        b.label(f"gc_phase{phase}")
+        b.li(HEAPI, 0)
+        b.label(f"gc{phase}_loop")
+        b.li(T0, _CELL_WORDS * 4)
+        b.mul(T0, HEAPI, T0)
+        b.addi(OBJ, T0, heap_base)
+        b.load(TAG, OBJ, 0)
+        support.emit_dispatch(b, gc_tables[phase], TAG)
+        for t in range(N_TAGS):
+            b.label(f"gc{phase}_{t}")
+            support.pad_handler(b, rng, 0, 3, acc_reg=ACC)
+            b.shli(T2, HEAPI, 2)
+            b.addi(T2, T2, mark_base)
+            b.li(T3, (phase << 4) | (t + 1))
+            b.store(T3, T2)       # phase-tagged mark word
+            if t == TAG_CONS:
+                # follow one link (pointer chasing, as mark phases do)
+                b.load(T3, OBJ, 4)
+                b.load(T3, T3, 0)
+                b.add(ACC, ACC, T3)
+            b.jmp(f"gc{phase}_next")
+        b.label(f"gc{phase}_next")
+        b.addi(HEAPI, HEAPI, 1)
+        b.li(T3, n_cells)
+        b.blt(HEAPI, T3, f"gc{phase}_loop")
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Main loop: eval every top-level expression, then a GC scan.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(SP, stack_base)
+    b.li(ACC, 1)
+    b.label("outer")
+    b.li(EXPR, 0)
+    b.label("expr_loop")
+    b.shli(T0, EXPR, 2)
+    b.li(T1, roots_base)
+    b.add(T0, T0, T1)
+    b.load(OBJ, T0)
+    b.call("eval")
+    b.addi(EXPR, EXPR, 1)
+    b.li(T3, params.n_expressions)
+    b.blt(EXPR, T3, "expr_loop")
+    for phase in range(params.gc_phases):
+        b.call(f"gc_phase{phase}")
+    b.jmp("outer")
+
+    return b.build(entry="main")

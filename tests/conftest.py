@@ -1,0 +1,35 @@
+"""Shared fixtures: small session-scoped traces and a hermetic trace cache."""
+
+import os
+
+import pytest
+
+from repro.workloads import get_trace
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_trace_cache(tmp_path, monkeypatch):
+    """Keep trace caching away from the user's real cache directory."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+
+
+@pytest.fixture(scope="session")
+def perl_trace():
+    """A small perl-like trace shared by many tests (read-only)."""
+    return get_trace("perl", n_instructions=60_000, use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace():
+    return get_trace("gcc", n_instructions=60_000, use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def all_small_traces():
+    """Tiny traces of every workload, for cross-benchmark checks."""
+    from repro.workloads import workload_names
+
+    return {
+        name: get_trace(name, n_instructions=25_000, use_cache=False)
+        for name in workload_names()
+    }

@@ -1,0 +1,136 @@
+"""Unit tests for the branch target buffer and its update strategies."""
+
+from repro.guest.isa import BranchKind
+from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
+
+import pytest
+
+
+JUMP = BranchKind.IND_JUMP
+COND = BranchKind.COND_DIRECT
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, COND, 0x200)
+        entry = btb.lookup(0x100)
+        assert entry is not None
+        assert entry.target == 0x200
+        assert entry.kind is COND
+        assert entry.fallthrough == 0x104
+
+    def test_hit_rate_counters(self):
+        btb = BranchTargetBuffer()
+        btb.lookup(0x100)
+        btb.update(0x100, COND, 0x200)
+        btb.lookup(0x100)
+        assert btb.lookups == 2
+        assert btb.hits == 1
+        assert btb.hit_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=100)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(ways=0)
+
+    def test_distinct_sets_do_not_conflict(self):
+        btb = BranchTargetBuffer(sets=4, ways=1)
+        for i in range(4):
+            btb.update(i * 4, COND, 0x400 + i)
+        for i in range(4):
+            assert btb.lookup(i * 4).target == 0x400 + i
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x000, COND, 1 * 4)
+        btb.update(0x100, COND, 2 * 4)
+        btb.update(0x200, COND, 3 * 4)  # evicts 0x000
+        assert btb.lookup(0x000) is None
+        assert btb.lookup(0x100) is not None
+        assert btb.lookup(0x200) is not None
+
+    def test_lookup_refreshes_recency(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x000, COND, 4)
+        btb.update(0x100, COND, 8)
+        btb.lookup(0x000)                 # 0x100 becomes LRU
+        btb.update(0x200, COND, 12)
+        assert btb.lookup(0x100) is None
+        assert btb.lookup(0x000) is not None
+
+    def test_occupancy(self):
+        btb = BranchTargetBuffer(sets=2, ways=2)
+        for i in range(3):
+            btb.update(i * 4, COND, 0x40)
+        assert btb.occupancy() == 3
+
+
+class TestDefaultStrategy:
+    def test_indirect_target_updated_on_every_miss(self):
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.DEFAULT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x800
+
+    def test_correct_prediction_keeps_target(self):
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.DEFAULT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x400, predicted_target_correct=True)
+        assert btb.lookup(0x100).target == 0x400
+
+
+class TestTwoBitStrategy:
+    def test_single_miss_does_not_replace(self):
+        """Calder & Grunwald: wait for two consecutive misses."""
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x400  # survived one miss
+
+    def test_two_consecutive_misses_replace(self):
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x800
+
+    def test_correct_prediction_resets_streak(self):
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        btb.update(0x100, JUMP, 0x400, predicted_target_correct=True)
+        btb.update(0x100, JUMP, 0xC00, predicted_target_correct=False)
+        # streak was reset, so one more miss still does not replace
+        assert btb.lookup(0x100).target == 0x400
+
+    def test_hysteresis_protects_dominant_target(self):
+        """A-B-A-B-A... with dominant A: 2-bit keeps A, default thrashes."""
+        def mispredicts(strategy):
+            btb = BranchTargetBuffer(strategy=strategy)
+            stream = [0x400, 0x800, 0x400, 0x400, 0x800, 0x400, 0x400,
+                      0x800, 0x400, 0x400]
+            misses = 0
+            for target in stream:
+                entry = btb.lookup(0x100)
+                predicted = entry.target if entry else None
+                correct = predicted == target
+                if not correct:
+                    misses += 1
+                btb.update(0x100, JUMP, target,
+                           predicted_target_correct=correct)
+            return misses
+
+        assert mispredicts(UpdateStrategy.TWO_BIT) < mispredicts(
+            UpdateStrategy.DEFAULT
+        )
+
+    def test_direct_branches_unaffected_by_strategy(self):
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, COND, 0x400)
+        btb.update(0x100, COND, 0x400, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x400

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert "perl" in out
+    assert "richards" in out
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_trace_command(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    assert main(["trace", "compress", "--trace-length", "8000"]) == 0
+    out = capsys.readouterr().out
+    assert "8000 instructions" in out
+    assert "indirect jumps" in out
+
+
+def test_trace_command_requires_workload(capsys):
+    assert main(["trace"]) == 2
+
+
+def test_dump_command(capsys):
+    assert main(["dump", "perl", "--head", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "static indirect jumps" in out
+    assert "jmp" in out or "li" in out
+
+
+def test_dump_requires_workload(capsys):
+    assert main(["dump"]) == 2
+
+
+def test_experiment_command_runs(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    assert main(["table4", "--trace-length", "40000"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "gshare(9)" in out

@@ -1,0 +1,109 @@
+"""Unit tests for the two-level direction predictors."""
+
+from repro.predictors.direction import DirectionConfig, DirectionPredictor
+
+
+def _predictor(scheme="gshare", history_bits=6, address_bits=0):
+    return DirectionPredictor(DirectionConfig(
+        scheme=scheme, history_bits=history_bits, address_bits=address_bits,
+    ))
+
+
+class TestCounters:
+    def test_initially_weakly_taken(self):
+        predictor = _predictor()
+        assert predictor.predict(0x100, 0) is True
+
+    def test_learns_not_taken(self):
+        predictor = _predictor()
+        for _ in range(3):
+            predictor.update(0x100, 0, taken=False)
+        assert predictor.predict(0x100, 0) is False
+
+    def test_saturation_gives_hysteresis(self):
+        predictor = _predictor()
+        for _ in range(10):
+            predictor.update(0x100, 0, taken=True)
+        predictor.update(0x100, 0, taken=False)
+        # one contrary outcome does not flip a saturated counter
+        assert predictor.predict(0x100, 0) is True
+
+    def test_counters_stay_in_range(self):
+        predictor = _predictor()
+        for _ in range(100):
+            predictor.update(0x100, 0, taken=True)
+        for _ in range(4):
+            predictor.update(0x100, 0, taken=False)
+        assert predictor.predict(0x100, 0) is False
+
+
+class TestIndexing:
+    def test_gshare_separates_histories(self):
+        predictor = _predictor("gshare", history_bits=8)
+        # same pc, two histories -> independent counters
+        for _ in range(3):
+            predictor.update(0x100, 0b00000001, taken=True)
+            predictor.update(0x100, 0b00000010, taken=False)
+        assert predictor.predict(0x100, 0b00000001) is True
+        assert predictor.predict(0x100, 0b00000010) is False
+
+    def test_gag_ignores_pc(self):
+        predictor = _predictor("gag", history_bits=8)
+        for _ in range(3):
+            predictor.update(0x100, 0b1, taken=False)
+        assert predictor.predict(0x999 * 4, 0b1) is False
+
+    def test_gas_partitions_by_address(self):
+        predictor = _predictor("gas", history_bits=4, address_bits=2)
+        for _ in range(3):
+            predictor.update(0 << 2, 0b1, taken=False)
+        # a pc mapping to a different partition keeps its own counter
+        assert predictor.predict(1 << 2, 0b1) is True
+        assert predictor.predict(0 << 2, 0b1) is False
+
+    def test_table_size(self):
+        assert _predictor("gshare", history_bits=12).table_size == 4096
+        assert _predictor("gas", 4, 2).table_size == 64
+
+
+class TestPAs:
+    def test_per_address_history_is_private(self):
+        predictor = _predictor("pas", history_bits=4, address_bits=2)
+        # train an alternating pattern at one pc
+        outcomes = [True, False] * 20
+        for outcome in outcomes:
+            predictor.update(0x100, 0, taken=outcome)
+        # after training, the local history disambiguates the alternation
+        hits = 0
+        expected = True
+        for _ in range(10):
+            if predictor.predict(0x100, 0) == expected:
+                hits += 1
+            predictor.update(0x100, 0, taken=expected)
+            expected = not expected
+        assert hits >= 9
+
+    def test_global_history_argument_ignored_for_pas(self):
+        predictor = _predictor("pas", history_bits=4, address_bits=1)
+        predictor.update(0x100, 0xFFFF, taken=False)
+        a = predictor.predict(0x100, 0x0000)
+        b = predictor.predict(0x100, 0xFFFF)
+        assert a == b
+
+
+class TestLearnsRealPattern:
+    def test_gshare_learns_history_correlated_branch(self):
+        """Branch taken iff last outcome was not-taken (alternating)."""
+        predictor = _predictor("gshare", history_bits=4)
+        history = 0
+        correct = 0
+        total = 200
+        outcome = True
+        for i in range(total):
+            prediction = predictor.predict(0x40, history)
+            if prediction == outcome:
+                correct += 1
+            predictor.update(0x40, history, outcome)
+            history = ((history << 1) | int(outcome)) & 0xF
+            outcome = not outcome
+        assert correct / total > 0.9

@@ -1,0 +1,109 @@
+"""Unit tests for the guest disassembler."""
+
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.disasm import (
+    disassemble_program,
+    format_instruction,
+    format_trace_window,
+)
+from repro.guest.isa import Instruction, Op
+from repro.guest.vm import run_program
+from repro.trace.trace import Trace
+from repro.workloads import build_program
+
+
+class TestFormatInstruction:
+    def test_three_register(self):
+        assert format_instruction(
+            Instruction(op=Op.ADD, rd=1, rs1=2, rs2=3)
+        ) == "add    r1, r2, r3"
+
+    def test_immediate_forms(self):
+        assert format_instruction(
+            Instruction(op=Op.ADDI, rd=1, rs1=2, imm=-4)
+        ) == "addi   r1, r2, -4"
+        assert format_instruction(
+            Instruction(op=Op.LI, rd=5, imm=100)
+        ) == "li     r5, 100"
+
+    def test_memory_forms(self):
+        assert format_instruction(
+            Instruction(op=Op.LOAD, rd=1, rs1=2, imm=8)
+        ) == "load   r1, [r2+8]"
+        assert format_instruction(
+            Instruction(op=Op.STORE, rs1=2, rs2=3, imm=0)
+        ) == "store  r3, [r2+0]"
+
+    def test_branch_with_label(self):
+        rendered = format_instruction(
+            Instruction(op=Op.BEQ, rs1=1, rs2=2, imm=0x40),
+            labels={0x40: "loop"},
+        )
+        assert rendered == "beq    r1, r2, loop"
+
+    def test_branch_without_label_shows_hex(self):
+        rendered = format_instruction(
+            Instruction(op=Op.JMP, imm=0x80)
+        )
+        assert rendered == "jmp    0x80"
+
+    def test_indirect_and_control(self):
+        assert format_instruction(Instruction(op=Op.JR, rs1=7)) == "jr     r7"
+        assert format_instruction(Instruction(op=Op.CALLR, rs1=7)) == "callr  r7"
+        assert format_instruction(Instruction(op=Op.RET)) == "ret"
+        assert format_instruction(Instruction(op=Op.HALT)) == "halt"
+
+    def test_every_opcode_renders(self):
+        for op in Op:
+            text = format_instruction(Instruction(op=op, rd=1, rs1=2, rs2=3,
+                                                  imm=4))
+            assert isinstance(text, str) and text
+
+
+class TestDisassembleProgram:
+    def test_labels_annotate_addresses(self):
+        b = ProgramBuilder()
+        b.jmp("main")
+        b.label("main")
+        b.li(1, 1)
+        b.halt()
+        listing = disassemble_program(b.build(entry="main"))
+        assert "main:" in listing
+        assert "jmp    main" in listing
+
+    def test_count_limits_output(self):
+        b = ProgramBuilder()
+        for i in range(10):
+            b.li(1, i)
+        b.halt()
+        listing = disassemble_program(b.build(), count=3)
+        assert len(listing.splitlines()) == 3
+
+    def test_every_workload_disassembles_fully(self):
+        for name in ("perl", "gcc", "richards", "deltablue"):
+            program = build_program(name)
+            listing = disassemble_program(program)
+            assert len(listing.splitlines()) >= program.num_instructions
+
+
+class TestTraceWindow:
+    def test_annotates_branches(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.label("loop")
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "loop")
+        b.halt()
+        trace = Trace.from_raw(run_program(b.build()))
+        window = format_trace_window(trace, 0, 10)
+        assert "cond_direct" in window
+        assert "not-taken" in window
+
+    def test_window_bounds(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.halt()
+        trace = Trace.from_raw(run_program(b.build()))
+        assert len(format_trace_window(trace, 0, 100).splitlines()) == 1

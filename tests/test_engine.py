@@ -1,0 +1,209 @@
+"""Unit tests for the fetch-engine composite (§3 wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import BranchKind
+from repro.guest.vm import run_program
+from repro.predictors import (
+    EngineConfig,
+    FetchEngine,
+    HistoryConfig,
+    HistorySource,
+    TargetCacheConfig,
+    simulate,
+)
+from repro.predictors.btb import UpdateStrategy
+from repro.predictors.history import PathFilter
+from repro.trace.trace import Trace
+
+
+def _trace(build_body, entry=0, n=50_000):
+    b = ProgramBuilder()
+    build_body(b)
+    program = b.build(entry=entry)
+    return Trace.from_raw(run_program(program, max_instructions=n))
+
+
+def _alternating_dispatch(n_targets=2):
+    """A jr that cycles deterministically through targets."""
+    def body(b):
+        b.jmp("main")
+        table = b.data_table([f"h{i}" for i in range(n_targets)])
+        for i in range(n_targets):
+            b.label(f"h{i}")
+            b.addi(20, 20, i)
+            b.addi(20, 20, i)  # vary length? keep equal, fine
+            b.jmp("cont")
+        b.label("main")
+        b.li(10, 0)
+        b.label("loop")
+        b.li(2, n_targets)
+        b.mod(3, 10, 2)
+        b.shli(3, 3, 2)
+        b.li(4, table)
+        b.add(3, 3, 4)
+        b.load(5, 3)
+        b.jr(5)
+        b.label("cont")
+        b.addi(10, 10, 1)
+        b.jmp("loop")
+    return body
+
+
+class TestBaselineEngine:
+    def test_alternating_targets_defeat_btb(self):
+        trace = _trace(_alternating_dispatch(2), entry="main", n=20_000)
+        stats = simulate(trace, EngineConfig())
+        # the target alternates every execution: last-target is ~100% wrong
+        assert stats.indirect_mispred_rate > 0.95
+
+    def test_constant_target_learned_by_btb(self):
+        trace = _trace(_alternating_dispatch(1), entry="main", n=20_000)
+        stats = simulate(trace, EngineConfig())
+        assert stats.indirect_mispred_rate < 0.01
+
+    def test_loop_branch_learned_by_direction_predictor(self):
+        def body(b):
+            b.li(1, 0)
+            b.li(2, 10_000)
+            b.label("loop")
+            b.addi(1, 1, 1)
+            b.blt(1, 2, "loop")
+            b.halt()
+        trace = _trace(body, n=50_000)
+        stats = simulate(trace, EngineConfig())
+        assert stats.conditional_mispred_rate < 0.01
+
+    def test_returns_predicted_by_ras(self):
+        def body(b):
+            b.jmp("main")
+            b.label("fn")
+            b.addi(20, 20, 1)
+            b.ret()
+            b.label("main")
+            b.label("loop")
+            b.call("fn")
+            b.jmp("loop")
+        trace = _trace(body, entry="main", n=20_000)
+        stats = simulate(trace, EngineConfig())
+        returns = stats.counters(BranchKind.RETURN)
+        assert returns.executed > 100
+        assert returns.rate < 0.01
+
+
+class TestTargetCacheIntegration:
+    def test_history_breaks_the_alternation(self):
+        trace = _trace(_alternating_dispatch(4), entry="main", n=20_000)
+        base = simulate(trace, EngineConfig())
+        # two bits per target: the equal-length handlers are 3 words
+        # apart, so a single address bit cannot tell all four apart
+        with_tc = simulate(trace, EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagless"),
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9,
+                                  bits_per_target=2,
+                                  path_filter=PathFilter.IND_JMP,
+                                  address_bit=2),
+        ))
+        assert base.indirect_mispred_rate > 0.9
+        assert with_tc.indirect_mispred_rate < 0.05
+
+    def test_oracle_only_misses_nothing(self):
+        trace = _trace(_alternating_dispatch(3), entry="main", n=20_000)
+        stats = simulate(trace, EngineConfig(
+            target_cache=TargetCacheConfig(kind="oracle"),
+        ))
+        # the first execution still misses: the BTB has not yet identified
+        # the instruction as an indirect jump, so fetch never consults the
+        # target cache (faithful to the paper's fetch mechanism)
+        assert stats.indirect_mispredictions <= 1
+
+    def test_returns_stay_on_ras_by_default(self, perl_trace):
+        """The TC must not swallow returns (paper footnote 1)."""
+        stats = simulate(perl_trace, EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagless"),
+        ))
+        assert stats.counters(BranchKind.RETURN).rate < 0.05
+
+    def test_tc_handles_returns_ablation_runs(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagless"),
+            target_cache_handles_returns=True,
+        ))
+        assert stats.counters(BranchKind.RETURN).executed > 0
+
+
+class TestStatsAccounting:
+    def test_kind_counts_match_trace(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig())
+        assert stats.indirect_jumps == int(perl_trace.is_indirect_jump.sum())
+        assert stats.counters(BranchKind.COND_DIRECT).executed == int(
+            perl_trace.is_conditional.sum()
+        )
+        assert stats.branches == int(perl_trace.is_branch.sum())
+
+    def test_mispredict_mask_alignment(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig(), collect_mask=True)
+        mask = stats.mispredict_mask
+        assert mask.shape == (len(perl_trace),)
+        # mask may only be set on branch rows
+        assert not np.any(mask & ~perl_trace.is_branch)
+        assert int(mask.sum()) == stats.branch_mispredictions
+
+    def test_mask_not_collected_by_default(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig())
+        assert stats.mispredict_mask is None
+
+    def test_overall_rate_consistency(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig())
+        assert stats.overall_mispred_rate == pytest.approx(
+            stats.branch_mispredictions / stats.branches
+        )
+
+    def test_btb_counters_populated(self, perl_trace):
+        stats = simulate(perl_trace, EngineConfig())
+        assert stats.btb_lookups == stats.branches
+        assert 0 < stats.btb_hits <= stats.btb_lookups
+
+
+class TestEngineDeterminism:
+    def test_same_config_same_result(self, gcc_trace):
+        config = EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagged", assoc=4),
+        )
+        a = simulate(gcc_trace, config)
+        b = simulate(gcc_trace, config)
+        assert a.indirect_mispredictions == b.indirect_mispredictions
+        assert a.branch_mispredictions == b.branch_mispredictions
+
+
+class TestHistorySelection:
+    def test_history_value_source(self):
+        engine = FetchEngine(EngineConfig(
+            history=HistoryConfig(source=HistorySource.PATTERN, bits=9),
+        ))
+        engine.pattern_history.update(True)
+        assert engine.target_cache_history(0x100) == 1
+
+        engine = FetchEngine(EngineConfig(
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9),
+        ))
+        engine.path_history.force_update(0b0100)
+        assert engine.target_cache_history(0x100) == 1
+
+        engine = FetchEngine(EngineConfig(
+            history=HistoryConfig(source=HistorySource.PATH_PER_ADDRESS,
+                                  bits=9),
+        ))
+        engine.per_address_history.update(0x100, 0b0100)
+        assert engine.target_cache_history(0x100) == 1
+        assert engine.target_cache_history(0x200) == 0
+
+    def test_two_bit_strategy_plumbing(self, perl_trace):
+        default = simulate(perl_trace, EngineConfig())
+        two_bit = simulate(
+            perl_trace, EngineConfig(btb_strategy=UpdateStrategy.TWO_BIT)
+        )
+        # rates must differ: the strategies behave differently on this trace
+        assert default.indirect_mispredictions != two_bit.indirect_mispredictions

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public API surface; each must execute cleanly at a
+reduced trace length.  Run as subprocesses so import side effects and CLI
+argument parsing are exercised exactly as a user would hit them.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: example script -> argv (kept small so the suite stays fast)
+_CASES = {
+    "quickstart.py": ["40000"],
+    "interpreter_dispatch.py": [],
+    "design_space.py": ["perl", "40000"],
+    "pipeline_speedup.py": ["12000"],
+    "custom_workload.py": [],
+    "predictor_lineage.py": ["perl", "40000"],
+}
+
+
+def _run_example(name, args, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_TRACE_CACHE"] = str(tmp_path)
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420, env=env,
+    )
+
+
+@pytest.mark.parametrize("name,args", sorted(_CASES.items()))
+def test_example_runs(name, args, tmp_path):
+    result = _run_example(name, args, tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_examples_directory_is_fully_covered():
+    on_disk = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert on_disk == set(_CASES), (
+        "new example scripts must be added to the smoke-test table"
+    )

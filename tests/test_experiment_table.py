@@ -1,0 +1,134 @@
+"""Tests for ExperimentTable formatting and the configs helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentTable, default_trace_length
+from repro.experiments.configs import (
+    PATH_SCHEME_LABELS,
+    path_history,
+    path_scheme_history,
+    pattern_history,
+    per_address_history,
+    tagged_engine,
+    tagless_engine,
+)
+from repro.predictors import HistorySource
+from repro.predictors.history import PathFilter
+from repro.predictors.target_cache import TaggedIndexing
+
+
+class TestExperimentTable:
+    def _table(self, **kwargs):
+        return ExperimentTable(
+            experiment_id="T",
+            title="demo",
+            columns=["a", "b"],
+            rows=[("row1", [0.5, 0.25]), ("row2", [1.0, 0.0])],
+            **kwargs,
+        )
+
+    def test_percent_format(self):
+        text = self._table().format()
+        assert "50.00%" in text
+        assert "25.00%" in text
+
+    def test_count_format(self):
+        table = ExperimentTable(
+            experiment_id="T", title="demo", columns=["n"],
+            rows=[("r", [12345.0])], value_format="count",
+        )
+        assert "12,345" in table.format()
+
+    def test_float_format(self):
+        table = ExperimentTable(
+            experiment_id="T", title="demo", columns=["x"],
+            rows=[("r", [1.5])], value_format="float",
+        )
+        assert "1.500" in table.format()
+
+    def test_mixed_column_formats(self):
+        table = ExperimentTable(
+            experiment_id="T", title="demo", columns=["n", "rate"],
+            rows=[("r", [100.0, 0.5])],
+            column_formats=["count", "percent"],
+        )
+        text = table.format()
+        assert "100" in text and "50.00%" in text
+
+    def test_nan_renders_as_dash(self):
+        table = ExperimentTable(
+            experiment_id="T", title="demo", columns=["x"],
+            rows=[("r", [float("nan")])],
+        )
+        assert "-" in table.format()
+
+    def test_cell_lookup(self):
+        table = self._table()
+        assert table.cell("row1", "b") == 0.25
+        with pytest.raises(ValueError):
+            table.cell("row1", "missing")
+        with pytest.raises(KeyError):
+            table.cell("missing", "a")
+
+    def test_notes_rendered(self):
+        table = self._table(notes="hello note")
+        assert "hello note" in table.format()
+
+
+class TestDefaults:
+    def test_default_trace_length_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LENGTH", "12345")
+        assert default_trace_length() == 12345
+
+    def test_default_trace_length_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_LENGTH", raising=False)
+        assert default_trace_length() == 400000
+
+
+class TestConfigHelpers:
+    def test_pattern_history(self):
+        history = pattern_history(12)
+        assert history.source is HistorySource.PATTERN
+        assert history.bits == 12
+
+    def test_path_history(self):
+        history = path_history(PathFilter.BRANCH, bits=9, bits_per_target=2,
+                               address_bit=3)
+        assert history.source is HistorySource.PATH_GLOBAL
+        assert history.path_filter is PathFilter.BRANCH
+        assert history.bits_per_target == 2
+        assert history.address_bit == 3
+
+    def test_per_address_history(self):
+        history = per_address_history()
+        assert history.source is HistorySource.PATH_PER_ADDRESS
+
+    def test_path_scheme_labels_cover_the_paper(self):
+        assert set(PATH_SCHEME_LABELS) == {"per-addr", "branch", "control",
+                                           "ind jmp", "call/ret"}
+        for label in PATH_SCHEME_LABELS:
+            history = path_scheme_history(label)
+            assert history.bits == 9
+
+    def test_unknown_scheme_label_rejected(self):
+        with pytest.raises(KeyError):
+            path_scheme_history("bogus")
+
+    def test_tagless_engine_defaults_512_entries(self):
+        config = tagless_engine()
+        assert config.target_cache.kind == "tagless"
+        assert 2 ** config.target_cache.history_bits == 512
+
+    def test_tagged_engine_shape(self):
+        config = tagged_engine(assoc=8, indexing=TaggedIndexing.ADDRESS,
+                               history_bits=16)
+        assert config.target_cache.assoc == 8
+        assert config.target_cache.indexing is TaggedIndexing.ADDRESS
+        assert config.history.bits == 16
+
+    def test_history_descriptions(self):
+        assert pattern_history(9).describe() == "pattern(9)"
+        assert "path-branch" in path_history(PathFilter.BRANCH).describe()
+        assert "per-addr" in per_address_history().describe()

@@ -1,0 +1,129 @@
+"""Unit tests for the program builder (the embedded assembler)."""
+
+import pytest
+
+from repro.guest.builder import BuilderError, ProgramBuilder
+from repro.guest.isa import INSTRUCTION_BYTES, Op
+
+
+def test_forward_label_resolution():
+    b = ProgramBuilder()
+    b.jmp("end")
+    b.label("end")
+    b.halt()
+    program = b.build()
+    assert program.code[0].imm == INSTRUCTION_BYTES
+
+
+def test_backward_label_resolution():
+    b = ProgramBuilder()
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.bne(1, 0, "top")
+    b.halt()
+    program = b.build()
+    assert program.code[1].imm == 0
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(BuilderError, match="duplicate"):
+        b.label("x")
+
+
+def test_undefined_label_rejected_at_build():
+    b = ProgramBuilder()
+    b.jmp("nowhere")
+    b.halt()
+    with pytest.raises(BuilderError, match="undefined label"):
+        b.build()
+
+
+def test_undefined_entry_rejected():
+    b = ProgramBuilder()
+    b.halt()
+    with pytest.raises(BuilderError, match="entry"):
+        b.build(entry="missing")
+
+
+def test_program_must_end_in_control_transfer():
+    b = ProgramBuilder()
+    b.addi(1, 1, 1)
+    with pytest.raises(BuilderError, match="must end"):
+        b.build()
+
+
+def test_data_table_with_labels_builds_jump_table():
+    b = ProgramBuilder()
+    b.jmp("main")
+    b.label("h0")
+    b.halt()
+    b.label("h1")
+    b.halt()
+    table = b.data_table(["h0", "h1"])
+    b.label("main")
+    b.halt()
+    program = b.build(entry="main")
+    assert program.data[table] == program.address_of("h0")
+    assert program.data[table + 4] == program.address_of("h1")
+
+
+def test_data_words_and_zeros_layout():
+    b = ProgramBuilder()
+    first = b.data_word(7)
+    zeros = b.data_zeros(3)
+    after = b.data_word(9)
+    b.halt()
+    assert zeros == first + 4
+    assert after == zeros + 12
+
+
+def test_data_cursor_matches_next_table_base():
+    b = ProgramBuilder()
+    cursor = b.data_cursor
+    base = b.data_table([1, 2, 3])
+    assert base == cursor
+    assert b.data_cursor == base + 12
+
+
+def test_li_with_label_loads_address():
+    b = ProgramBuilder()
+    b.jmp("main")
+    b.label("target")
+    b.halt()
+    b.label("main")
+    b.li(5, "target")
+    b.halt()
+    program = b.build(entry="main")
+    li = program.instruction_at(program.address_of("main"))
+    assert li.imm == program.address_of("target")
+
+
+def test_unique_label_never_collides():
+    b = ProgramBuilder()
+    first = b.unique_label("work")
+    b.label(first)
+    second = b.unique_label("work")
+    assert first != second
+
+
+def test_register_validation_on_emit():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.add(99, 1, 2)
+
+
+def test_explicit_data_address_advances_cursor():
+    b = ProgramBuilder()
+    b.data_word(5, address=0x20000)
+    assert b.data_cursor == 0x20004
+    b.halt()
+
+
+def test_mov_is_add_with_zero():
+    b = ProgramBuilder()
+    b.mov(3, 7)
+    b.halt()
+    ins = b.build().code[0]
+    assert ins.op is Op.ADD and ins.rs2 == 0

@@ -1,0 +1,137 @@
+"""Unit tests for the guest ISA definitions."""
+
+import pytest
+
+from repro.guest.isa import (
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    OP_BRANCH_KIND,
+    OP_CLASS,
+    BranchKind,
+    GuestProgram,
+    Instruction,
+    InstrClass,
+    Op,
+    classify_target,
+    validate_register,
+)
+
+
+class TestBranchKind:
+    def test_not_branch_is_not_a_branch(self):
+        assert not BranchKind.NOT_BRANCH.is_branch
+
+    def test_every_other_kind_is_a_branch(self):
+        for kind in BranchKind:
+            if kind is not BranchKind.NOT_BRANCH:
+                assert kind.is_branch
+
+    def test_indirect_kinds(self):
+        assert BranchKind.IND_JUMP.is_indirect
+        assert BranchKind.CALL_INDIRECT.is_indirect
+        assert BranchKind.RETURN.is_indirect
+        assert not BranchKind.COND_DIRECT.is_indirect
+        assert not BranchKind.UNCOND_DIRECT.is_indirect
+        assert not BranchKind.CALL_DIRECT.is_indirect
+
+    def test_target_cache_excludes_returns(self):
+        """Paper footnote 1: returns are handled by the RAS, not the TC."""
+        assert BranchKind.IND_JUMP.is_predicted_by_target_cache
+        assert BranchKind.CALL_INDIRECT.is_predicted_by_target_cache
+        assert not BranchKind.RETURN.is_predicted_by_target_cache
+        assert not BranchKind.COND_DIRECT.is_predicted_by_target_cache
+
+    def test_call_kinds(self):
+        assert BranchKind.CALL_DIRECT.is_call
+        assert BranchKind.CALL_INDIRECT.is_call
+        assert not BranchKind.RETURN.is_call
+
+    def test_redirects_stream(self):
+        assert BranchKind.COND_DIRECT.redirects_stream
+        assert BranchKind.RETURN.redirects_stream
+        assert not BranchKind.NOT_BRANCH.redirects_stream
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_a_class(self):
+        for op in Op:
+            assert op in OP_CLASS
+
+    def test_branch_opcodes_have_branch_class(self):
+        for op, kind in OP_BRANCH_KIND.items():
+            assert OP_CLASS[op] is InstrClass.BRANCH
+            assert kind.is_branch
+
+    def test_non_branch_opcodes_have_no_kind(self):
+        assert Op.ADD not in OP_BRANCH_KIND
+        assert Op.LOAD not in OP_BRANCH_KIND
+
+    def test_latency_classes_cover_paper_table3(self):
+        names = {c.name for c in InstrClass}
+        assert names == {"INT", "FP_ADD", "MUL", "DIV", "LOAD", "STORE",
+                         "BITFIELD", "BRANCH"}
+
+
+class TestInstruction:
+    def test_derived_properties(self):
+        ins = Instruction(op=Op.JR, rs1=5)
+        assert ins.instr_class is InstrClass.BRANCH
+        assert ins.branch_kind is BranchKind.IND_JUMP
+
+    def test_alu_instruction(self):
+        ins = Instruction(op=Op.MUL, rd=1, rs1=2, rs2=3)
+        assert ins.instr_class is InstrClass.MUL
+        assert ins.branch_kind is BranchKind.NOT_BRANCH
+
+
+class TestGuestProgram:
+    def _program(self):
+        code = [
+            Instruction(op=Op.LI, rd=1, imm=3),
+            Instruction(op=Op.JR, rs1=1),
+            Instruction(op=Op.CALLR, rs1=1),
+            Instruction(op=Op.RET),
+            Instruction(op=Op.HALT),
+        ]
+        return GuestProgram(code=code, labels={"main": 0})
+
+    def test_instruction_at(self):
+        program = self._program()
+        assert program.instruction_at(4).op is Op.JR
+
+    def test_instruction_at_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            self._program().instruction_at(5)
+
+    def test_instruction_at_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            self._program().instruction_at(400)
+
+    def test_static_indirect_jumps_excludes_returns(self):
+        program = self._program()
+        # JR at 4 and CALLR at 8 qualify; RET at 12 does not
+        assert program.static_indirect_jumps() == [4, 8]
+
+    def test_address_of(self):
+        assert self._program().address_of("main") == 0
+
+
+class TestHelpers:
+    def test_validate_register_accepts_range(self):
+        assert validate_register(0) == 0
+        assert validate_register(NUM_REGISTERS - 1) == NUM_REGISTERS - 1
+
+    def test_validate_register_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_register(NUM_REGISTERS)
+        with pytest.raises(ValueError):
+            validate_register(-1)
+
+    def test_validate_register_allows_unused_sentinel(self):
+        assert validate_register(-1, allow_unused=True) == -1
+
+    def test_classify_target(self):
+        forward, distance = classify_target(0, 2 * INSTRUCTION_BYTES)
+        assert forward and distance == 1
+        backward, distance = classify_target(8, 0)
+        assert not backward and distance == -3

@@ -1,0 +1,135 @@
+"""Unit tests for pattern and path history registers."""
+
+import pytest
+
+from repro.guest.isa import BranchKind
+from repro.predictors.history import (
+    PathFilter,
+    PathHistoryRegister,
+    PatternHistoryRegister,
+    PerAddressPathHistory,
+)
+
+
+class TestPatternHistory:
+    def test_shifts_newest_lowest(self):
+        register = PatternHistoryRegister(4)
+        for outcome in (True, False, True, True):
+            register.update(outcome)
+        assert register.value == 0b1011
+
+    def test_masks_to_width(self):
+        register = PatternHistoryRegister(3)
+        for _ in range(10):
+            register.update(True)
+        assert register.value == 0b111
+
+    def test_snapshot_restore(self):
+        register = PatternHistoryRegister(8)
+        register.update(True)
+        snapshot = register.snapshot()
+        register.update(False)
+        register.restore(snapshot)
+        assert register.value == snapshot
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            PatternHistoryRegister(0)
+
+
+class TestPathFilter:
+    def test_control_accepts_every_branch(self):
+        for kind in BranchKind:
+            if kind is BranchKind.NOT_BRANCH:
+                assert not PathFilter.CONTROL.accepts(kind)
+            else:
+                assert PathFilter.CONTROL.accepts(kind)
+
+    def test_branch_accepts_only_conditionals(self):
+        assert PathFilter.BRANCH.accepts(BranchKind.COND_DIRECT)
+        assert not PathFilter.BRANCH.accepts(BranchKind.IND_JUMP)
+
+    def test_call_ret(self):
+        assert PathFilter.CALL_RET.accepts(BranchKind.CALL_DIRECT)
+        assert PathFilter.CALL_RET.accepts(BranchKind.CALL_INDIRECT)
+        assert PathFilter.CALL_RET.accepts(BranchKind.RETURN)
+        assert not PathFilter.CALL_RET.accepts(BranchKind.COND_DIRECT)
+
+    def test_ind_jmp_matches_target_cache_kinds(self):
+        assert PathFilter.IND_JMP.accepts(BranchKind.IND_JUMP)
+        assert PathFilter.IND_JMP.accepts(BranchKind.CALL_INDIRECT)
+        assert not PathFilter.IND_JMP.accepts(BranchKind.RETURN)
+
+
+class TestPathHistory:
+    def test_records_selected_address_bit(self):
+        register = PathHistoryRegister(bits=4, bits_per_target=1,
+                                       address_bit=2)
+        register.update(BranchKind.IND_JUMP, 0b0100)   # bit 2 = 1
+        register.update(BranchKind.IND_JUMP, 0b1000)   # bit 2 = 0
+        assert register.value == 0b10
+
+    def test_bits_per_target(self):
+        register = PathHistoryRegister(bits=6, bits_per_target=2,
+                                       address_bit=2)
+        register.update(BranchKind.IND_JUMP, 0b1100)   # bits 3:2 = 11
+        register.update(BranchKind.IND_JUMP, 0b0100)   # bits 3:2 = 01
+        assert register.value == 0b1101
+
+    def test_filter_rejects_unmatched_kinds(self):
+        register = PathHistoryRegister(bits=4, path_filter=PathFilter.IND_JMP)
+        register.update(BranchKind.COND_DIRECT, 0xFFFF)
+        assert register.value == 0
+
+    def test_not_taken_conditional_contributes_nothing(self):
+        """The paper records *targets*; a fall-through is not a target."""
+        register = PathHistoryRegister(bits=4, path_filter=PathFilter.BRANCH)
+        register.update(BranchKind.COND_DIRECT, 0b0100, redirected=False)
+        assert register.value == 0
+        register.update(BranchKind.COND_DIRECT, 0b0100, redirected=True)
+        assert register.value == 1
+
+    def test_targets_recorded(self):
+        assert PathHistoryRegister(bits=9, bits_per_target=1).targets_recorded == 9
+        assert PathHistoryRegister(bits=9, bits_per_target=3).targets_recorded == 3
+
+    def test_capacity_tradeoff_is_real(self):
+        """With fixed width, more bits per target = fewer targets kept."""
+        narrow = PathHistoryRegister(bits=8, bits_per_target=1)
+        wide = PathHistoryRegister(bits=8, bits_per_target=4)
+        targets = [0b0100, 0b1000, 0b0100, 0b1100, 0b0000, 0b0100,
+                   0b1000, 0b1000, 0b0100]
+        for target in targets:
+            narrow.force_update(target)
+            wide.force_update(target)
+        # the narrow register still holds a bit from targets[-8]; the wide
+        # one only remembers the last two targets
+        assert narrow.targets_recorded == 8
+        assert wide.targets_recorded == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PathHistoryRegister(bits=0)
+        with pytest.raises(ValueError):
+            PathHistoryRegister(bits=4, bits_per_target=5)
+        with pytest.raises(ValueError):
+            PathHistoryRegister(bits=4, address_bit=-1)
+
+
+class TestPerAddressPathHistory:
+    def test_registers_are_independent(self):
+        history = PerAddressPathHistory(bits=4)
+        history.update(0x100, 0b0100)
+        history.update(0x200, 0b0000)
+        assert history.value(0x100) == 1
+        assert history.value(0x200) == 0
+
+    def test_unknown_pc_reads_zero(self):
+        assert PerAddressPathHistory(bits=4).value(0x999) == 0
+
+    def test_tracked_jumps(self):
+        history = PerAddressPathHistory(bits=4)
+        history.update(0x100, 4)
+        history.update(0x100, 8)
+        history.update(0x200, 4)
+        assert history.tracked_jumps == 2

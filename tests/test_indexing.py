@@ -1,0 +1,82 @@
+"""Unit tests for the index schemes shared by predictors and target caches."""
+
+import pytest
+
+from repro.predictors.indexing import GAgIndex, GAsIndex, GShareIndex, parse_scheme
+
+
+class TestGAg:
+    def test_uses_history_only(self):
+        scheme = GAgIndex(4)
+        assert scheme.index(pc=0x1000, history=0b1010) == 0b1010
+        assert scheme.index(pc=0x2000, history=0b1010) == 0b1010
+
+    def test_masks_history(self):
+        scheme = GAgIndex(3)
+        assert scheme.index(0, 0b11111) == 0b111
+
+    def test_table_size(self):
+        assert GAgIndex(9).table_size == 512
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            GAgIndex(0)
+
+
+class TestGAs:
+    def test_address_selects_table(self):
+        scheme = GAsIndex(history_bits=2, address_bits=1)
+        # word address bit 0 selects the upper/lower half
+        low = scheme.index(pc=0 << 2, history=0b11)
+        high = scheme.index(pc=1 << 2, history=0b11)
+        assert low == 0b011
+        assert high == 0b111
+
+    def test_history_selects_entry_within_table(self):
+        scheme = GAsIndex(history_bits=3, address_bits=2)
+        assert scheme.index(pc=0, history=0b101) == 0b101
+        assert scheme.index(pc=0, history=0b001) == 0b001
+
+    def test_table_size(self):
+        assert GAsIndex(8, 1).table_size == 512
+        assert GAsIndex(7, 2).table_size == 512
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            GAsIndex(0, 1)
+        with pytest.raises(ValueError):
+            GAsIndex(3, -1)
+
+
+class TestGShare:
+    def test_xors_address_and_history(self):
+        scheme = GShareIndex(4)
+        assert scheme.index(pc=0b1010 << 2, history=0b0110) == 0b1100
+
+    def test_different_pcs_spread_same_history(self):
+        scheme = GShareIndex(9)
+        indices = {scheme.index(pc << 2, 0b101010101) for pc in range(32)}
+        assert len(indices) == 32
+
+    def test_alignment_bits_ignored(self):
+        scheme = GShareIndex(6)
+        assert scheme.index(0x100, 0) == scheme.index(0x100, 0)
+        # pc bits below the word boundary never reach the index
+        assert scheme.index(0x100, 5) == (0x100 >> 2 ^ 5) & 63
+
+
+class TestParseScheme:
+    def test_parse_all(self):
+        assert isinstance(parse_scheme("gag", 9), GAgIndex)
+        assert isinstance(parse_scheme("GAS", 8, 1), GAsIndex)
+        assert isinstance(parse_scheme("gshare", 9), GShareIndex)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parse_scheme("bogus", 9)
+
+    def test_indices_always_in_range(self):
+        for scheme in (GAgIndex(9), GAsIndex(7, 2), GShareIndex(9)):
+            for pc in range(0, 4096, 4):
+                index = scheme.index(pc, pc * 2654435761)
+                assert 0 <= index < scheme.table_size

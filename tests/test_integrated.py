@@ -1,0 +1,103 @@
+"""Tests for the integrated speculative-history cycle simulation."""
+
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.vm import run_program
+from repro.experiments.configs import (
+    pattern_history,
+    path_scheme_history,
+    tagless_engine,
+)
+from repro.pipeline import MachineConfig, run_integrated
+from repro.predictors import EngineConfig, simulate
+from repro.trace.trace import Trace
+
+
+def _trace(build_body, n=20_000):
+    b = ProgramBuilder()
+    build_body(b)
+    return Trace.from_raw(run_program(b.build(), max_instructions=n))
+
+
+class TestSpeculativeMatchesRetireOrder:
+    """With fetch stalling on every misprediction, the speculative history
+    visible at each prediction equals the retire-order history, so the two
+    simulations must agree — this is the ablation that justifies the
+    paper's (and our) trace-driven methodology."""
+
+    def test_simple_loop(self):
+        def body(b):
+            b.li(1, 0)
+            b.li(2, 3000)
+            b.label("loop")
+            b.addi(1, 1, 1)
+            b.blt(1, 2, "loop")
+            b.halt()
+        trace = _trace(body)
+        retire = simulate(trace, EngineConfig())
+        integrated = run_integrated(trace, EngineConfig())
+        assert (integrated.stats.conditional_mispred_rate
+                == pytest.approx(retire.conditional_mispred_rate, abs=0.01))
+
+    def test_history_dependent_branch(self):
+        def body(b):
+            b.li(1, 0)
+            b.li(2, 4000)
+            b.label("loop")
+            b.andi(3, 1, 1)
+            b.beq(3, 0, "even")
+            b.addi(4, 4, 1)
+            b.label("even")
+            b.addi(1, 1, 1)
+            b.blt(1, 2, "loop")
+            b.halt()
+        trace = _trace(body, n=40_000)
+        retire = simulate(trace, EngineConfig())
+        integrated = run_integrated(trace, EngineConfig())
+        assert integrated.stats.conditional_mispred_rate < 0.02
+        assert (integrated.stats.conditional_mispred_rate
+                == pytest.approx(retire.conditional_mispred_rate, abs=0.01))
+
+    @pytest.mark.parametrize("history", [
+        pattern_history(9),
+        path_scheme_history("ind jmp"),
+        path_scheme_history("control"),
+    ])
+    def test_target_cache_rates_agree_on_perl(self, perl_trace, history):
+        trace = perl_trace[:30_000]
+        config = tagless_engine(history=history)
+        retire = simulate(trace, config)
+        integrated = run_integrated(trace, config)
+        assert (integrated.stats.indirect_mispred_rate
+                == pytest.approx(retire.indirect_mispred_rate, abs=0.03))
+
+
+class TestTimingSide:
+    def test_all_instructions_retire(self, perl_trace):
+        trace = perl_trace[:10_000]
+        result = run_integrated(trace, EngineConfig())
+        assert result.stats.instructions == len(trace)
+        assert result.cycles > 0
+        assert 0.2 < result.ipc < 4.0
+
+    def test_better_predictor_fewer_cycles(self, perl_trace):
+        trace = perl_trace[:20_000]
+        base = run_integrated(trace, EngineConfig())
+        with_tc = run_integrated(
+            trace, tagless_engine(history=path_scheme_history("ind jmp"))
+        )
+        assert with_tc.stats.indirect_mispred_rate < base.stats.indirect_mispred_rate
+        assert with_tc.cycles < base.cycles
+
+    def test_cycles_comparable_to_one_pass_model(self, perl_trace):
+        from repro.pipeline import memory_penalties, run_timing
+
+        trace = perl_trace[:15_000]
+        machine = MachineConfig()
+        penalties = memory_penalties(trace, machine)
+        stats = simulate(trace, EngineConfig(), collect_mask=True)
+        one_pass = run_timing(trace, machine, stats.mispredict_mask, penalties)
+        integrated = run_integrated(trace, EngineConfig(), machine, penalties)
+        ratio = integrated.cycles / one_pass.cycles
+        assert 0.7 < ratio < 1.4

@@ -1,0 +1,148 @@
+"""Unit tests for the ITTAGE-lite extension predictor."""
+
+import pytest
+
+from repro.predictors import EngineConfig, HistoryConfig, HistorySource, simulate
+from repro.predictors.history import PathFilter
+from repro.predictors.target_cache import (
+    ITTageLite,
+    TargetCacheConfig,
+    build_target_cache,
+    fold_history,
+)
+
+
+class TestFoldHistory:
+    def test_short_history_passes_through(self):
+        assert fold_history(0b101, length=8, bits=8) == 0b101
+
+    def test_folding_xors_segments(self):
+        # 12 bits folded into 4: segments 0xA, 0xB, 0xC -> A^B^C
+        history = (0xC << 8) | (0xB << 4) | 0xA
+        assert fold_history(history, length=12, bits=4) == 0xA ^ 0xB ^ 0xC
+
+    def test_only_youngest_length_bits_used(self):
+        assert fold_history(0xFF00 | 0b1010, length=4, bits=4) == 0b1010
+
+    def test_result_in_range(self):
+        for history in (0, 1, 0xDEADBEEF, (1 << 60) - 1):
+            assert 0 <= fold_history(history, 32, 7) < 128
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            fold_history(1, 4, 0)
+
+
+class TestITTageLite:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ITTageLite(lengths=())
+        with pytest.raises(ValueError):
+            ITTageLite(lengths=(8, 4))
+
+    def test_base_predictor_learns_last_target(self):
+        predictor = ITTageLite()
+        predictor.update(0x100, 0, 0x400)
+        assert predictor.predict(0x100, 12345) == 0x400
+
+    def test_unknown_jump_predicts_none(self):
+        assert ITTageLite().predict(0x100, 0) is None
+
+    def test_allocation_on_misprediction(self):
+        predictor = ITTageLite()
+        predictor.update(0x100, 0b0001, 0x400)
+        # same pc, different history, different target: base mispredicts,
+        # so a tagged component must be allocated
+        predictor.update(0x100, 0b1110, 0x800)
+        assert predictor.predict(0x100, 0b1110) == 0x800
+
+    def test_history_disambiguates_targets(self):
+        predictor = ITTageLite()
+        pairs = [(0b000011, 0x400), (0b110000, 0x800)]
+        for _ in range(6):
+            for history, target in pairs:
+                predictor.update(0x100, history, target)
+        assert predictor.predict(0x100, 0b000011) == 0x400
+        assert predictor.predict(0x100, 0b110000) == 0x800
+
+    def test_longest_history_provider_wins(self):
+        predictor = ITTageLite(lengths=(4, 16))
+        # two histories identical in the youngest 4 bits, distinct above
+        short_ctx = 0b0000_1111
+        long_ctx = 0b1111_1111
+        for _ in range(8):
+            predictor.update(0x100, short_ctx, 0x400)
+            predictor.update(0x100, long_ctx, 0x800)
+        assert predictor.predict(0x100, short_ctx) == 0x400
+        assert predictor.predict(0x100, long_ctx) == 0x800
+
+    def test_recovers_dominant_target_after_transient(self):
+        """A single contrary outcome allocates a longer-history entry (as
+        real ITTAGE does), but reconfirmation re-establishes the dominant
+        target as the prediction."""
+        predictor = ITTageLite()
+        for _ in range(6):
+            predictor.update(0x100, 0b0101, 0x400)
+        predictor.update(0x100, 0b0101, 0x800)  # transient
+        for _ in range(3):
+            predictor.update(0x100, 0b0101, 0x400)
+        assert predictor.predict(0x100, 0b0101) == 0x400
+
+    def test_confident_provider_keeps_target_through_one_flip(self):
+        """The provider entry itself is hysteretic: its stored target
+        survives a single contrary update (confidence decrements first)."""
+        predictor = ITTageLite()
+        predictor.update(0x100, 0b0001, 0x400)
+        predictor.update(0x100, 0b1000, 0x800)  # allocates a component
+        # reinforce the allocated entry
+        for _ in range(4):
+            predictor.update(0x100, 0b1000, 0x800)
+        component, entry = predictor._lookup(0x100, 0b1000)
+        assert entry is not None and entry.target == 0x800
+        confident = entry.confidence
+        predictor.update(0x100, 0b1000, 0xC00)  # one contrary outcome
+        assert entry.target == 0x800             # survived
+        assert entry.confidence < confident
+
+    def test_reset(self):
+        predictor = ITTageLite()
+        predictor.update(0x100, 0, 0x400)
+        predictor.reset()
+        assert predictor.predict(0x100, 0) is None
+
+    def test_total_entries_budget(self):
+        predictor = ITTageLite(table_bits=7, lengths=(4, 8, 16, 32))
+        assert predictor.total_entries == 4 * 128
+
+    def test_factory(self):
+        predictor = build_target_cache(
+            TargetCacheConfig(kind="ittage", entries=128)
+        )
+        assert isinstance(predictor, ITTageLite)
+
+
+class TestITTageOnWorkloads:
+    def _ittage_engine(self):
+        return EngineConfig(
+            target_cache=TargetCacheConfig(kind="ittage", entries=128),
+            history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=48,
+                                  path_filter=PathFilter.CONTROL),
+        )
+
+    def test_beats_btb_on_perl(self, perl_trace):
+        base = simulate(perl_trace, EngineConfig()).indirect_mispred_rate
+        ittage = simulate(perl_trace,
+                          self._ittage_engine()).indirect_mispred_rate
+        assert ittage < base * 0.3
+
+    def test_beats_single_history_target_cache_on_perl(self, perl_trace):
+        """The historical progression: geometric history lengths dominate
+        one fixed-length history."""
+        from repro.experiments.configs import path_scheme_history, tagless_engine
+
+        classic = simulate(
+            perl_trace, tagless_engine(history=path_scheme_history("ind jmp"))
+        ).indirect_mispred_rate
+        ittage = simulate(perl_trace,
+                          self._ittage_engine()).indirect_mispred_rate
+        assert ittage < classic

@@ -1,0 +1,117 @@
+"""Unit tests for the metrics package (bootstrap CIs, shape comparison)."""
+
+import pytest
+
+from repro.metrics import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    orderings_agree,
+    rate_confidence,
+    segment_rates,
+    shape_match,
+)
+from repro.predictors import EngineConfig
+
+
+class TestBootstrap:
+    def test_constant_samples_give_degenerate_interval(self):
+        ci = bootstrap_ci([0.3] * 10)
+        assert ci.estimate == pytest.approx(0.3)
+        assert ci.low == pytest.approx(0.3)
+        assert ci.high == pytest.approx(0.3)
+
+    def test_interval_brackets_estimate(self):
+        samples = [0.1, 0.2, 0.3, 0.4, 0.5, 0.2, 0.3, 0.1, 0.4, 0.3]
+        ci = bootstrap_ci(samples)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_wider_confidence_widens_interval(self):
+        samples = [0.1, 0.5, 0.2, 0.4, 0.3, 0.6, 0.2, 0.1, 0.5, 0.3]
+        narrow = bootstrap_ci(samples, confidence=0.5)
+        wide = bootstrap_ci(samples, confidence=0.99)
+        assert wide.half_width >= narrow.half_width
+
+    def test_deterministic_per_seed(self):
+        samples = [0.1, 0.3, 0.2, 0.5]
+        assert bootstrap_ci(samples, seed=1) == bootstrap_ci(samples, seed=1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.1], confidence=1.5)
+
+    def test_contains(self):
+        ci = ConfidenceInterval(estimate=0.3, low=0.2, high=0.4)
+        assert ci.contains(0.25)
+        assert not ci.contains(0.5)
+
+
+class TestSegmentRates:
+    def test_segments_cover_the_trace(self, perl_trace):
+        rates = segment_rates(perl_trace, EngineConfig(), n_segments=10)
+        assert 1 <= len(rates) <= 10
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+    def test_segment_mean_tracks_global_rate(self, perl_trace):
+        from repro.predictors import simulate
+
+        rates = segment_rates(perl_trace, EngineConfig(), n_segments=10)
+        global_rate = simulate(perl_trace, EngineConfig()).indirect_mispred_rate
+        mean = sum(rates) / len(rates)
+        assert abs(mean - global_rate) < 0.08
+
+    def test_rejects_bad_segments(self, perl_trace):
+        with pytest.raises(ValueError):
+            segment_rates(perl_trace, EngineConfig(), n_segments=0)
+
+    def test_rate_confidence_end_to_end(self, perl_trace):
+        ci = rate_confidence(perl_trace, EngineConfig(), n_segments=8)
+        assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0
+        # perl's BTB rate is ~75%: the CI must land in that neighbourhood
+        assert ci.contains(0.75) or abs(ci.estimate - 0.75) < 0.10
+
+
+class TestShapeComparison:
+    def test_orderings_agree_on_identical_ranks(self):
+        assert orderings_agree([1, 2, 3], [10, 20, 30])
+
+    def test_orderings_disagree_on_inversion(self):
+        assert not orderings_agree([1, 2, 3], [10, 30, 20])
+
+    def test_tolerance_forgives_near_ties(self):
+        assert orderings_agree([0.30, 0.31], [0.31, 0.30], tolerance=0.02)
+        assert not orderings_agree([0.30, 0.60], [0.60, 0.30], tolerance=0.02)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            orderings_agree([1], [1, 2])
+
+    def test_shape_match(self):
+        paper = {"perl": 0.762, "gcc": 0.66, "vortex": 0.083}
+        measured = {"perl": 0.75, "gcc": 0.54, "vortex": 0.089}
+        result = shape_match(paper, measured)
+        assert result["orderings"]
+        assert result["magnitudes"]
+
+    def test_shape_match_detects_magnitude_blowout(self):
+        result = shape_match({"a": 0.1, "b": 0.5}, {"a": 0.9, "b": 0.95})
+        assert not result["magnitudes"]
+
+    def test_shape_match_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            shape_match({"a": 1.0}, {"b": 1.0})
+
+
+class TestPaperCalibrationWithCIs:
+    def test_table1_rates_within_ci_reach_of_paper_band(self, all_small_traces):
+        """The headline calibration, now with sampling error quantified:
+        each benchmark's CI must overlap a generous band around the
+        paper's value."""
+        from repro.workloads.registry import WORKLOADS
+
+        for name in ("perl", "vortex", "compress"):
+            ci = rate_confidence(all_small_traces[name], EngineConfig(),
+                                 n_segments=8)
+            paper = WORKLOADS[name].paper_btb_mispred
+            assert ci.low - 0.15 <= paper <= ci.high + 0.15, (name, ci)

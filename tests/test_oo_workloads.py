@@ -1,0 +1,96 @@
+"""Tests for the §5 future-work OO workloads (richards / deltablue)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_experiment
+from repro.experiments.configs import path_scheme_history, tagless_engine
+from repro.predictors import EngineConfig, simulate
+from repro.trace.stats import branch_mix, target_profile
+from repro.workloads import build_program, get_trace, workload_names
+from repro.workloads.registry import OO_WORKLOADS, WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def richards_trace():
+    return get_trace("richards", n_instructions=50_000, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def deltablue_trace():
+    return get_trace("deltablue", n_instructions=50_000, use_cache=False)
+
+
+class TestRegistrySeparation:
+    def test_oo_workloads_registered(self):
+        assert set(OO_WORKLOADS) == {"richards", "deltablue"}
+
+    def test_spec_tables_remain_eight_rows(self):
+        assert len(WORKLOADS) == 8
+        assert "richards" not in WORKLOADS
+
+    def test_names_listing(self):
+        assert "richards" not in workload_names()
+        assert "richards" in workload_names(include_oo=True)
+
+    def test_buildable(self):
+        for name in OO_WORKLOADS:
+            program = build_program(name)
+            assert program.num_instructions > 50
+
+
+class TestRichards:
+    def test_trace_valid_and_polymorphic(self, richards_trace):
+        richards_trace.validate()
+        profile = target_profile(richards_trace)
+        assert profile.max_targets() >= 3  # several task types run
+
+    def test_scheduler_dispatch_defeats_btb(self, richards_trace):
+        stats = simulate(richards_trace, EngineConfig())
+        assert stats.indirect_mispred_rate > 0.5
+
+    def test_target_cache_recovers_most_of_it(self, richards_trace):
+        base = simulate(richards_trace, EngineConfig()).indirect_mispred_rate
+        with_tc = simulate(
+            richards_trace,
+            tagless_engine(history=path_scheme_history(
+                "ind jmp", bits=10, bits_per_target=2)),
+        ).indirect_mispred_rate
+        assert with_tc < base * 0.7
+
+
+class TestDeltablue:
+    def test_trace_valid(self, deltablue_trace):
+        deltablue_trace.validate()
+
+    def test_high_indirect_density(self, deltablue_trace):
+        """The §5 premise: OO code executes far more indirect branches."""
+        mix = branch_mix(deltablue_trace)
+        assert mix.indirect_fraction > 0.03
+
+    def test_two_virtual_call_sites_six_receivers(self, deltablue_trace):
+        profile = target_profile(deltablue_trace)
+        assert profile.static_jumps == 2
+        assert profile.max_targets() == 6
+
+    def test_plan_execution_is_history_predictable(self, deltablue_trace):
+        base = simulate(deltablue_trace, EngineConfig()).indirect_mispred_rate
+        with_tc = simulate(
+            deltablue_trace,
+            tagless_engine(history=path_scheme_history(
+                "ind jmp", bits=10, bits_per_target=2)),
+        ).indirect_mispred_rate
+        assert base > 0.5
+        assert with_tc < base * 0.7
+
+
+class TestFutureWorkExperiment:
+    def test_experiment_supports_the_papers_prediction(self):
+        ctx = ExperimentContext(trace_length=60_000, use_trace_cache=False)
+        table = run_experiment("oo_future_work", ctx)
+        for benchmark in ("richards", "deltablue"):
+            btb = table.cell(benchmark, "BTB mispred")
+            tagged = table.cell(benchmark, "tagged 8-way TC")
+            assert tagged < btb
+            assert table.cell(benchmark, "exec reduction (tagged)") > 0.0
+        # the density premise: deltablue far above the SPEC ~0.5-2% range
+        assert table.cell("deltablue", "indirect density") > 0.03

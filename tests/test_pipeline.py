@@ -1,0 +1,224 @@
+"""Unit tests for the pipeline timing models and the data cache."""
+
+import numpy as np
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import InstrClass
+from repro.guest.vm import run_program
+from repro.pipeline import (
+    DataCache,
+    DataCacheConfig,
+    MachineConfig,
+    memory_penalties,
+    run_cycle_core,
+    run_timing,
+)
+from repro.predictors import EngineConfig, TargetCacheConfig, simulate
+from repro.trace.trace import Trace
+
+
+def _trace(build_body, n=10_000, entry=0):
+    b = ProgramBuilder()
+    build_body(b)
+    return Trace.from_raw(run_program(b.build(entry=entry), max_instructions=n))
+
+
+class TestDataCache:
+    def test_first_access_misses_then_hits(self):
+        cache = DataCache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = DataCache(DataCacheConfig(line_bytes=32))
+        cache.access(0x1000)
+        assert cache.access(0x101C) is True   # same 32B line
+        assert cache.access(0x1020) is False  # next line
+
+    def test_lru_eviction_within_set(self):
+        config = DataCacheConfig(size_bytes=4 * 32, assoc=2, line_bytes=32)
+        cache = DataCache(config)  # 2 sets x 2 ways
+        stride = config.line_bytes * cache.n_sets
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        cache.access(2 * stride)  # evicts line 0
+        assert cache.access(0) is False
+
+    def test_miss_rate(self):
+        cache = DataCache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DataCacheConfig(size_bytes=1000, assoc=3, line_bytes=32).n_sets
+
+
+class TestMemoryPenalties:
+    def test_only_memory_rows_penalised(self):
+        def body(b):
+            b.li(1, 0x10000)
+            b.load(2, 1)       # cold miss
+            b.load(3, 1)       # hit (same line)
+            b.halt()
+        trace = _trace(body)
+        machine = MachineConfig()
+        penalties = memory_penalties(trace, machine)
+        assert penalties[0] == 0
+        assert penalties[1] == machine.memory_latency
+        assert penalties[2] == 0
+
+    def test_streaming_misses_every_line(self):
+        def body(b):
+            b.li(1, 0x10000)
+            b.li(2, 0)
+            b.li(3, 2048)
+            b.label("loop")
+            b.load(4, 1)
+            b.addi(1, 1, 32)   # one access per line
+            b.addi(2, 2, 1)
+            b.blt(2, 3, "loop")
+            b.halt()
+        trace = _trace(body, n=20_000)
+        penalties = memory_penalties(trace, MachineConfig())
+        loads = trace.instr_class == int(InstrClass.LOAD)
+        assert np.all(penalties[loads] == MachineConfig().memory_latency)
+
+
+class TestOnePassTiming:
+    def test_empty_trace(self):
+        result = run_timing(Trace.empty(), MachineConfig())
+        assert result.cycles == 0
+
+    def test_serial_dependency_chain_costs_latency_each(self):
+        def body(b):
+            b.li(1, 1)
+            for _ in range(50):
+                b.mul(1, 1, 1)  # true dependence chain of MULs
+            b.halt()
+        trace = _trace(body)
+        machine = MachineConfig()
+        result = run_timing(trace, machine)
+        mul_latency = machine.latency_of(int(InstrClass.MUL))
+        assert result.cycles >= 50 * mul_latency
+
+    def test_independent_work_bounded_by_width(self):
+        def body(b):
+            for i in range(1, 25):
+                b.li(i % 28 + 1, i)
+            b.halt()
+        trace = _trace(body)
+        machine = MachineConfig()
+        result = run_timing(trace, machine)
+        # 24 independent instructions at width 4: ~6 cycles + pipe fill
+        assert result.cycles <= 6 + machine.frontend_depth + 4
+        assert result.ipc >= 2.0
+
+    def test_mispredictions_cost_cycles(self, perl_trace):
+        machine = MachineConfig()
+        penalties = memory_penalties(perl_trace, machine)
+        base = simulate(perl_trace, EngineConfig(), collect_mask=True)
+        perfect = run_timing(perl_trace, machine, None, penalties)
+        predicted = run_timing(perl_trace, machine, base.mispredict_mask,
+                               penalties)
+        assert predicted.cycles > perfect.cycles
+        assert predicted.mispredict_stall_cycles > 0
+
+    def test_fewer_mispredictions_never_slower(self, perl_trace):
+        """Removing mispredict events can only reduce the cycle count."""
+        machine = MachineConfig()
+        penalties = memory_penalties(perl_trace, machine)
+        stats = simulate(perl_trace, EngineConfig(), collect_mask=True)
+        full_mask = stats.mispredict_mask
+        reduced_mask = full_mask.copy()
+        rows = np.flatnonzero(reduced_mask)
+        reduced_mask[rows[::2]] = False
+        full = run_timing(perl_trace, machine, full_mask, penalties)
+        reduced = run_timing(perl_trace, machine, reduced_mask, penalties)
+        assert reduced.cycles <= full.cycles
+
+    def test_memory_latency_visible(self):
+        def body(b):
+            b.li(1, 0x10000)
+            b.li(2, 0)
+            b.li(3, 400)
+            b.label("loop")
+            b.load(4, 1)
+            b.add(5, 4, 4)     # depends on the load
+            b.addi(1, 1, 32)
+            b.addi(2, 2, 1)
+            b.blt(2, 3, "loop")
+            b.halt()
+        trace = _trace(body, n=10_000)
+        fast = MachineConfig(memory_latency=2)
+        slow = MachineConfig(memory_latency=40)
+        assert (run_timing(trace, slow).cycles
+                > run_timing(trace, fast).cycles * 1.5)
+
+    def test_store_to_load_forwarding_dependency(self):
+        def body(b):
+            b.li(1, 0x10000)
+            b.li(2, 7)
+            for _ in range(30):
+                b.mul(2, 2, 2)      # long chain delays the store's data
+            b.store(2, 1)
+            b.load(3, 1)            # must wait for the store
+            b.halt()
+        trace = _trace(body)
+        result = run_timing(trace, MachineConfig())
+        # load's completion is pinned behind the 30-mul chain
+        assert result.cycles >= 30 * 3
+
+
+class TestCycleCore:
+    def test_agrees_with_one_pass_on_simple_loop(self):
+        def body(b):
+            b.li(1, 0)
+            b.li(2, 500)
+            b.label("loop")
+            b.addi(1, 1, 1)
+            b.mul(3, 1, 1)
+            b.blt(1, 2, "loop")
+            b.halt()
+        trace = _trace(body, n=5_000)
+        machine = MachineConfig()
+        one_pass = run_timing(trace, machine).cycles
+        stepped = run_cycle_core(trace, machine)
+        assert abs(stepped - one_pass) / one_pass < 0.25
+
+    def test_cross_validation_on_workload(self, perl_trace):
+        """The fast model tracks the cycle-stepped model within 25% and
+        preserves the base-vs-target-cache ordering."""
+        trace = perl_trace[:15_000]
+        machine = MachineConfig()
+        penalties = memory_penalties(trace, machine)
+        base = simulate(trace, EngineConfig(), collect_mask=True)
+        tc = simulate(trace, EngineConfig(
+            target_cache=TargetCacheConfig(kind="oracle"),
+        ), collect_mask=True)
+
+        fast_base = run_timing(trace, machine, base.mispredict_mask, penalties)
+        fast_tc = run_timing(trace, machine, tc.mispredict_mask, penalties)
+        step_base = run_cycle_core(trace, machine, base.mispredict_mask,
+                                   penalties)
+        step_tc = run_cycle_core(trace, machine, tc.mispredict_mask, penalties)
+
+        assert abs(step_base - fast_base.cycles) / step_base < 0.25
+        assert fast_tc.cycles < fast_base.cycles
+        assert step_tc < step_base
+
+    def test_mispredict_stall_visible_in_cycle_core(self):
+        def body(b):
+            b.li(1, 0)
+            b.label("loop")
+            b.addi(1, 1, 1)
+            b.jmp("loop")
+        trace = _trace(body, n=2_000)
+        machine = MachineConfig()
+        mask = np.zeros(len(trace), dtype=bool)
+        clean = run_cycle_core(trace, machine, mask.copy())
+        mask[np.flatnonzero(trace.is_branch)] = True  # every branch wrong
+        dirty = run_cycle_core(trace, machine, mask)
+        assert dirty > clean * 2

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.isa import BranchKind
+from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
+from repro.predictors.history import PathHistoryRegister, PatternHistoryRegister
+from repro.predictors.indexing import GAgIndex, GAsIndex, GShareIndex
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.target_cache import TaggedIndexing, TaggedTargetCache
+from repro.pipeline.caches import DataCache, DataCacheConfig
+from repro.workloads.support import markov_sequence, transition_fraction, zipf_weights
+
+word_addresses = st.integers(min_value=0, max_value=1 << 20).map(lambda w: w * 4)
+histories = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestPatternHistoryProperties:
+    @given(st.lists(st.booleans(), max_size=64), st.integers(1, 16))
+    def test_value_is_last_n_outcomes(self, outcomes, bits):
+        register = PatternHistoryRegister(bits)
+        for outcome in outcomes:
+            register.update(outcome)
+        expected = 0
+        for outcome in outcomes[-bits:]:
+            expected = (expected << 1) | int(outcome)
+        assert register.value == expected
+
+    @given(st.lists(st.booleans(), max_size=64), st.integers(1, 16))
+    def test_value_always_within_width(self, outcomes, bits):
+        register = PatternHistoryRegister(bits)
+        for outcome in outcomes:
+            register.update(outcome)
+        assert 0 <= register.value < (1 << bits)
+
+
+class TestPathHistoryProperties:
+    @given(st.lists(word_addresses, max_size=40),
+           st.integers(1, 4), st.integers(0, 6))
+    def test_reconstructible_from_last_fragments(self, targets, bpt, address_bit):
+        bits = 12
+        register = PathHistoryRegister(bits=bits, bits_per_target=bpt,
+                                       address_bit=address_bit)
+        for target in targets:
+            register.force_update(target)
+        expected = 0
+        mask = (1 << bpt) - 1
+        for target in targets:
+            expected = ((expected << bpt) | ((target >> address_bit) & mask))
+        expected &= (1 << bits) - 1
+        assert register.value == expected
+
+
+class TestIndexSchemeProperties:
+    @given(word_addresses, histories)
+    def test_indices_in_range(self, pc, history):
+        for scheme in (GAgIndex(9), GAsIndex(8, 1), GAsIndex(7, 2),
+                       GShareIndex(9)):
+            index = scheme.index(pc, history)
+            assert 0 <= index < scheme.table_size
+
+    @given(word_addresses, word_addresses, histories)
+    def test_gag_is_address_blind(self, pc1, pc2, history):
+        scheme = GAgIndex(9)
+        assert scheme.index(pc1, history) == scheme.index(pc2, history)
+
+
+class TestTaggedCacheProperties:
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    min_size=1, max_size=200),
+           st.sampled_from([1, 2, 4, 8]),
+           st.sampled_from(list(TaggedIndexing)))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops, assoc, indexing):
+        cache = TaggedTargetCache(entries=16, assoc=assoc, indexing=indexing)
+        for pc, history, target in ops:
+            cache.update(pc, history, target)
+        assert cache.occupancy() <= cache.entries
+        for bucket in cache._sets:
+            assert len(bucket) <= assoc
+
+    @given(word_addresses, histories, word_addresses,
+           st.sampled_from(list(TaggedIndexing)))
+    def test_predict_after_update_returns_target(self, pc, history, target,
+                                                 indexing):
+        cache = TaggedTargetCache(entries=64, assoc=4, indexing=indexing)
+        cache.update(pc, history, target)
+        assert cache.predict(pc, history) == target
+
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_is_some_previous_target_or_none(self, ops):
+        """A target cache can only return targets it has been taught."""
+        cache = TaggedTargetCache(entries=16, assoc=2)
+        taught = set()
+        for pc, history, target in ops:
+            guess = cache.predict(pc, history)
+            assert guess is None or guess in taught
+            cache.update(pc, history, target)
+            taught.add(target)
+
+
+class TestBTBProperties:
+    @given(st.lists(st.tuples(word_addresses, word_addresses), min_size=1,
+                    max_size=300),
+           st.sampled_from(list(UpdateStrategy)))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded_and_lookup_consistent(self, ops, strategy):
+        btb = BranchTargetBuffer(sets=8, ways=2, strategy=strategy)
+        for pc, target in ops:
+            btb.update(pc, BranchKind.IND_JUMP, target,
+                       predicted_target_correct=False)
+        assert btb.occupancy() <= 16
+        # the most recently updated pc is always resident
+        last_pc = ops[-1][0]
+        assert btb.lookup(last_pc) is not None
+
+
+class TestRASProperties:
+    @given(st.lists(word_addresses, max_size=100), st.integers(1, 16))
+    def test_depth_bound_and_lifo_suffix(self, pushes, depth):
+        ras = ReturnAddressStack(depth=depth)
+        for address in pushes:
+            ras.push(address)
+        assert len(ras) <= depth
+        expected = list(reversed(pushes[-depth:]))
+        popped = [ras.pop() for _ in range(len(expected))]
+        assert popped == expected
+
+
+class TestDataCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addresses):
+        cache = DataCache(DataCacheConfig(size_bytes=1024, assoc=2,
+                                          line_bytes=32))
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_count_bounded_by_accesses(self, addresses):
+        cache = DataCache()
+        for address in addresses:
+            cache.access(address)
+        assert 0 < cache.accesses
+        assert 0 <= cache.misses <= cache.accesses
+
+
+class TestWorkloadSupportProperties:
+    @given(st.integers(2, 20), st.floats(0.0, 0.95), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_markov_self_bias_controls_transitions(self, k, self_bias, seed):
+        rng = random.Random(seed)
+        sequence = markov_sequence(rng, 600, k, self_bias=self_bias)
+        assert all(0 <= value < k for value in sequence)
+        observed = transition_fraction(sequence)
+        expected = (1 - self_bias) * (1 - 1 / k)
+        assert abs(observed - expected) < 0.12
+
+    @given(st.integers(1, 40), st.floats(0.1, 2.0))
+    def test_zipf_weights_decreasing_and_positive(self, k, s):
+        weights = zipf_weights(k, s)
+        assert len(weights) == k
+        assert all(w > 0 for w in weights)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))

@@ -1,0 +1,128 @@
+"""Property-based tests for the extension predictors and the metrics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.compare import orderings_agree
+from repro.metrics.stats import bootstrap_ci
+from repro.predictors.target_cache.cascaded import CascadedTargetCache
+from repro.predictors.target_cache.ittage import ITTageLite, fold_history
+from repro.predictors.target_cache.tagged import TaggedTargetCache
+
+word_addresses = st.integers(min_value=0, max_value=1 << 20).map(lambda w: w * 4)
+histories = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestFoldHistoryProperties:
+    @given(histories, st.integers(1, 48), st.integers(1, 16))
+    def test_in_range(self, history, length, bits):
+        assert 0 <= fold_history(history, length, bits) < (1 << bits)
+
+    @given(histories, st.integers(1, 48), st.integers(1, 16))
+    def test_deterministic(self, history, length, bits):
+        assert fold_history(history, length, bits) == fold_history(
+            history, length, bits
+        )
+
+    @given(histories, histories, st.integers(1, 16))
+    def test_ignores_bits_beyond_length(self, history, junk, bits):
+        length = 8
+        mask = (1 << length) - 1
+        low = history & mask
+        with_junk = low | (junk << length)
+        assert fold_history(low, length, bits) == fold_history(
+            with_junk, length, bits
+        )
+
+
+class TestCascadeProperties:
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_is_some_taught_target_or_none(self, ops):
+        cascade = CascadedTargetCache(TaggedTargetCache(entries=16, assoc=2))
+        taught = set()
+        for pc, history, target in ops:
+            guess = cascade.predict(pc, history)
+            assert guess is None or guess in taught
+            cascade.update(pc, history, target)
+            taught.add(target)
+
+    @given(st.lists(st.tuples(word_addresses, word_addresses), min_size=1,
+                    max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_promotion_only_on_target_change(self, ops):
+        cascade = CascadedTargetCache(TaggedTargetCache(entries=16, assoc=2))
+        changes = set()
+        last = {}
+        for pc, target in ops:
+            if pc in last and last[pc] != target:
+                changes.add(pc)
+            cascade.update(pc, 0, target)
+            last[pc] = target
+        assert cascade.promoted_jumps == len(changes)
+
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_monomorphic_never_touches_stage2(self, ops):
+        cascade = CascadedTargetCache(TaggedTargetCache(entries=16, assoc=2))
+        for pc, history, _target in ops:
+            cascade.update(pc, history, pc + 4)  # one target per pc
+        assert cascade.stage2.occupancy() == 0
+
+
+class TestITTageProperties:
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    min_size=1, max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_never_invents_targets(self, ops):
+        predictor = ITTageLite(table_bits=4)
+        taught = set()
+        for pc, history, target in ops:
+            guess = predictor.predict(pc, history)
+            assert guess is None or guess in taught
+            predictor.update(pc, history, target)
+            taught.add(target)
+
+    @given(st.lists(st.tuples(word_addresses, histories, word_addresses),
+                    min_size=1, max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_component_capacity_bounded(self, ops):
+        predictor = ITTageLite(table_bits=4)
+        for pc, history, target in ops:
+            predictor.update(pc, history, target)
+        for table in predictor._tables:
+            assert len(table) <= 16
+
+    @given(word_addresses, histories, word_addresses)
+    def test_repeated_training_converges(self, pc, history, target):
+        predictor = ITTageLite()
+        for _ in range(4):
+            predictor.update(pc, history, target)
+        assert predictor.predict(pc, history) == target
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=30),
+           st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_bootstrap_interval_within_sample_range(self, samples, seed):
+        ci = bootstrap_ci(samples, seed=seed, n_resamples=300)
+        assert min(samples) - 1e-9 <= ci.low <= ci.high <= max(samples) + 1e-9
+        assert ci.low <= ci.estimate + 1e-9
+        assert ci.estimate <= ci.high + 1e-9
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=12, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_orderings_agree_is_reflexive(self, values):
+        assert orderings_agree(values, values)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=12, unique=True),
+           st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_orderings_agree_under_monotone_transform(self, values, seed):
+        transformed = [v * 3.0 + 0.5 for v in values]
+        assert orderings_agree(values, transformed)

@@ -1,0 +1,64 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+
+from repro.predictors.ras import ReturnAddressStack
+
+
+def test_lifo_order():
+    ras = ReturnAddressStack()
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_underflow_returns_none_and_counts():
+    ras = ReturnAddressStack()
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_overflow_drops_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(1 * 4)
+    ras.push(2 * 4)
+    ras.push(3 * 4)
+    assert len(ras) == 2
+    assert ras.pop() == 12
+    assert ras.pop() == 8
+    assert ras.pop() is None
+
+
+def test_counters():
+    ras = ReturnAddressStack()
+    ras.push(4)
+    ras.pop()
+    ras.pop()
+    assert ras.pushes == 1
+    assert ras.pops == 2
+    assert ras.underflows == 1
+
+
+def test_clear():
+    ras = ReturnAddressStack()
+    ras.push(4)
+    ras.clear()
+    assert len(ras) == 0
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        ReturnAddressStack(depth=0)
+
+
+def test_deep_recursion_beyond_depth_mispredicts_oldest_frames():
+    """Once recursion exceeds the hardware depth, the outermost returns
+    lose their entries — the realistic RAS degradation mode."""
+    ras = ReturnAddressStack(depth=4)
+    addresses = [i * 4 for i in range(1, 9)]
+    for address in addresses:
+        ras.push(address)
+    popped = [ras.pop() for _ in range(8)]
+    assert popped[:4] == addresses[:3:-1]  # newest four predicted correctly
+    assert popped[4:] == [None] * 4

@@ -1,0 +1,174 @@
+"""Tests for the guest-side emitters in workloads.support."""
+
+import random
+
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import BranchKind
+from repro.guest.vm import VM, run_program
+from repro.trace.trace import Trace
+from repro.workloads import support
+from repro.workloads.support import RNG, T3
+
+
+def _run(emit, max_instructions=5_000):
+    b = ProgramBuilder()
+    emit(b)
+    b.halt()
+    vm = VM(b.build(), max_instructions=max_instructions)
+    trace = vm.run()
+    return vm, Trace.from_raw(trace)
+
+
+class TestDispatchEmitter:
+    def test_reaches_selected_handler(self):
+        b = ProgramBuilder()
+        b.jmp("main")
+        table = b.data_table(["h0", "h1"])
+        b.label("h0")
+        b.li(20, 100)
+        b.halt()
+        b.label("h1")
+        b.li(20, 200)
+        b.halt()
+        b.label("main")
+        b.li(5, 1)
+        jr_addr = support.emit_dispatch(b, table, 5)
+        program = b.build(entry="main")
+        vm = VM(program)
+        vm.run()
+        assert vm.registers[20] == 200
+        assert program.instruction_at(jr_addr).branch_kind is BranchKind.IND_JUMP
+
+    def test_call_dispatch_returns(self):
+        b = ProgramBuilder()
+        b.jmp("main")
+        table = b.data_table(["m0"])
+        b.label("m0")
+        b.li(20, 7)
+        b.ret()
+        b.label("main")
+        b.li(5, 0)
+        support.emit_call_dispatch(b, table, 5)
+        b.addi(20, 20, 1)
+        b.halt()
+        program = b.build(entry="main")
+        vm = VM(program)
+        vm.run()
+        assert vm.registers[20] == 8
+
+
+class TestLCG:
+    def test_state_advances_deterministically(self):
+        def emit(b):
+            b.li(RNG, 42)
+            support.emit_lcg_step(b)
+        vm1, _ = _run(emit)
+        vm2, _ = _run(emit)
+        assert vm1.registers[RNG] == vm2.registers[RNG]
+        assert vm1.registers[RNG] != 42
+
+    def test_random_bit_is_zero_or_one(self):
+        def emit(b):
+            b.li(RNG, 7)
+            support.emit_random_bit(b, 9, bit=13)
+        vm, _ = _run(emit)
+        assert vm.registers[9] in (0, 1)
+
+    def test_bits_look_balanced(self):
+        b = ProgramBuilder()
+        b.li(RNG, 1234)
+        counter = 21
+        b.li(counter, 0)
+        b.li(10, 0)
+        b.li(11, 400)
+        b.label("loop")
+        support.emit_random_bit(b, 9, bit=16)
+        b.add(counter, counter, 9)
+        b.addi(10, 10, 1)
+        b.blt(10, 11, "loop")
+        b.halt()
+        vm = VM(b.build(), max_instructions=50_000)
+        vm.run()
+        assert 120 < vm.registers[counter] < 280  # ~50% of 400
+
+
+class TestWorkLoop:
+    def test_iterations_counted(self):
+        def emit(b):
+            b.li(20, 0)
+            b.li(T3, 7)
+            support.emit_work_loop(b, "work", T3)
+        vm, _ = _run(emit)
+        assert vm.registers[20] == 7  # default body increments r20
+
+    def test_custom_body(self):
+        def emit(b):
+            b.li(22, 0)
+            b.li(T3, 5)
+            support.emit_work_loop(b, "work", T3,
+                                   body=lambda: b.addi(22, 22, 2))
+        vm, _ = _run(emit)
+        assert vm.registers[22] == 10
+
+
+class TestOperandPad:
+    def test_outcomes_follow_value_bits(self):
+        """Pad branch outcomes equal the tested bits of the operand."""
+        value = 0b1011
+        def emit(b):
+            b.li(5, value)
+            support.emit_operand_pad(b, 5, 4, random.Random(0), acc_reg=20,
+                                     first_bit=0)
+        _, trace = _run(emit)
+        cond = trace.branch_kind == int(BranchKind.COND_DIRECT)
+        outcomes = trace.taken[cond].tolist()
+        # the pad's beq skips when the bit is SET is inverted: beq T3,0
+        # taken iff bit == 0
+        expected = [not bool((value >> bit) & 1) for bit in range(4)]
+        assert outcomes == expected
+
+    def test_bit_modulo_wraps(self):
+        def emit(b):
+            b.li(5, 0b11)
+            support.emit_operand_pad(b, 5, 4, random.Random(0), acc_reg=20,
+                                     first_bit=0, bit_modulo=2)
+        _, trace = _run(emit)
+        cond = trace.branch_kind == int(BranchKind.COND_DIRECT)
+        # bits tested: 0,1,0,1 -> all set -> all not-taken
+        assert trace.taken[cond].tolist() == [False] * 4
+
+
+class TestPadHandler:
+    def test_respects_bounds_and_determinism(self):
+        lengths = set()
+        for seed in range(5):
+            b = ProgramBuilder()
+            support.pad_handler(b, random.Random(seed), 2, 8)
+            b.halt()
+            lengths.add(b.build().num_instructions)
+        assert all(3 <= n <= 13 for n in lengths)
+        assert len(lengths) > 1  # varies with the seed
+
+
+class TestHostHelpers:
+    def test_handler_labels(self):
+        assert support.handler_labels("h", 3) == ["h_0", "h_1", "h_2"]
+
+    def test_weighted_sequence_range(self):
+        rng = random.Random(0)
+        seq = support.weighted_sequence(rng, 100, [1, 1, 1, 1])
+        assert all(0 <= s < 4 for s in seq)
+
+    def test_markov_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            support.markov_sequence(random.Random(0), 10, 0)
+
+    def test_transition_fraction_edges(self):
+        assert support.transition_fraction([]) == 0.0
+        assert support.transition_fraction([1]) == 0.0
+        assert support.transition_fraction([1, 2, 1]) == 1.0
+
+    def test_word_offset(self):
+        assert support.word_offset(3) == 12

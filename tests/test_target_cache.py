@@ -1,0 +1,228 @@
+"""Unit tests for the target cache variants (the paper's contribution)."""
+
+import pytest
+
+from repro.predictors.indexing import GAgIndex, GShareIndex
+from repro.predictors.target_cache import (
+    LastTargetPredictor,
+    OracleTargetPredictor,
+    TaggedIndexing,
+    TaggedTargetCache,
+    TaglessTargetCache,
+    TargetCacheConfig,
+    build_target_cache,
+)
+
+
+class TestTagless:
+    def test_miss_then_hit(self):
+        cache = TaglessTargetCache(GShareIndex(6))
+        assert cache.predict(0x100, 0b1010) is None
+        cache.update(0x100, 0b1010, 0x400)
+        assert cache.predict(0x100, 0b1010) == 0x400
+
+    def test_different_history_selects_different_entry(self):
+        cache = TaglessTargetCache(GShareIndex(6))
+        cache.update(0x100, 0b000001, 0x400)
+        cache.update(0x100, 0b000010, 0x800)
+        assert cache.predict(0x100, 0b000001) == 0x400
+        assert cache.predict(0x100, 0b000010) == 0x800
+
+    def test_interference_between_jumps(self):
+        """No tags: two jumps hashing to the same entry clobber each other
+        — the §3.2 motivation for the tagged variant."""
+        cache = TaglessTargetCache(GAgIndex(4))  # history-only index
+        cache.update(0x100, 0b0101, 0x400)
+        cache.update(0x200, 0b0101, 0x800)  # same history, other jump
+        assert cache.predict(0x100, 0b0101) == 0x800  # interference!
+
+    def test_structural_miss_counter(self):
+        cache = TaglessTargetCache(GAgIndex(4))
+        cache.predict(0, 0)
+        cache.update(0, 0, 0x40)
+        cache.predict(0, 0)
+        assert cache.predictions == 2
+        assert cache.structural_misses == 1
+
+    def test_utilisation(self):
+        cache = TaglessTargetCache(GAgIndex(4))
+        assert cache.utilisation() == 0.0
+        cache.update(0, 0b0001, 0x40)
+        assert cache.utilisation() == pytest.approx(1 / 16)
+
+    def test_reset(self):
+        cache = TaglessTargetCache(GAgIndex(4))
+        cache.update(0, 0, 0x40)
+        cache.reset()
+        assert cache.predict(0, 0) is None
+
+
+class TestTaggedGeometry:
+    def test_entry_and_assoc_validation(self):
+        with pytest.raises(ValueError):
+            TaggedTargetCache(entries=100)
+        with pytest.raises(ValueError):
+            TaggedTargetCache(entries=256, assoc=3)
+        with pytest.raises(ValueError):
+            TaggedTargetCache(replacement="fifo")
+
+    def test_fully_associative(self):
+        cache = TaggedTargetCache(entries=16, assoc=16)
+        assert cache.n_sets == 1
+
+
+class TestTaggedBehaviour:
+    def test_no_interference_between_jumps(self):
+        """Tags isolate different jumps even at the same index."""
+        cache = TaggedTargetCache(entries=16, assoc=4,
+                                  indexing=TaggedIndexing.HISTORY_CONCAT)
+        cache.update(0x100, 0b0101, 0x400)
+        cache.update(0x200, 0b0101, 0x800)
+        assert cache.predict(0x100, 0b0101) == 0x400
+        assert cache.predict(0x200, 0b0101) == 0x800
+
+    def test_tag_miss_returns_none(self):
+        cache = TaggedTargetCache(entries=16, assoc=2)
+        assert cache.predict(0x100, 0) is None
+        assert cache.tag_misses == 1
+
+    def test_lru_within_set(self):
+        cache = TaggedTargetCache(entries=4, assoc=2,
+                                  indexing=TaggedIndexing.ADDRESS)
+        pc = 0x100
+        # Address indexing: same pc + different history -> same set,
+        # different tags, so the third context evicts the first.
+        cache.update(pc, 1, 0x40)
+        cache.update(pc, 2, 0x80)
+        cache.update(pc, 3, 0xC0)
+        assert cache.predict(pc, 1) is None
+        assert cache.predict(pc, 2) == 0x80
+        assert cache.predict(pc, 3) == 0xC0
+
+    def test_predict_refreshes_lru(self):
+        cache = TaggedTargetCache(entries=4, assoc=2,
+                                  indexing=TaggedIndexing.ADDRESS)
+        pc = 0x100
+        cache.update(pc, 1, 0x40)
+        cache.update(pc, 2, 0x80)
+        cache.predict(pc, 1)          # refresh context 1
+        cache.update(pc, 3, 0xC0)     # evicts context 2
+        assert cache.predict(pc, 1) == 0x40
+        assert cache.predict(pc, 2) is None
+
+    def test_update_existing_tag_replaces_target(self):
+        cache = TaggedTargetCache(entries=16, assoc=4)
+        cache.update(0x100, 5, 0x40)
+        cache.update(0x100, 5, 0x80)
+        assert cache.predict(0x100, 5) == 0x80
+        assert cache.occupancy() == 1
+
+    def test_history_bits_mask(self):
+        cache = TaggedTargetCache(entries=16, assoc=4, history_bits=4)
+        cache.update(0x100, 0b10101, 0x40)
+        # history is masked to 4 bits, so 0b0101 aliases 0b10101
+        assert cache.predict(0x100, 0b00101) == 0x40
+
+    def test_finite_tag_bits_cause_aliasing(self):
+        full = TaggedTargetCache(entries=4, assoc=4, history_bits=9)
+        narrow = TaggedTargetCache(entries=4, assoc=4, history_bits=9,
+                                   tag_bits=1)
+        # two contexts whose tags differ only above bit 0
+        full.update(0x100, 0b000000000, 0x40)
+        narrow.update(0x100, 0b000000000, 0x40)
+        probe = 0b100000000
+        assert full.predict(0x100, probe) is None
+        # with 1 tag bit the two contexts alias to the same entry
+        assert narrow.predict(0x100, probe) == 0x40
+
+    def test_random_replacement_is_seed_deterministic(self):
+        def fill(seed):
+            cache = TaggedTargetCache(entries=4, assoc=2, seed=seed,
+                                      replacement="random",
+                                      indexing=TaggedIndexing.ADDRESS)
+            for h in range(8):
+                cache.update(0x100, h, h * 16)
+            return sorted(
+                t for bucket in cache._sets for t in bucket.values()
+            )
+        assert fill(1) == fill(1)
+
+    def test_reset(self):
+        cache = TaggedTargetCache(entries=16, assoc=4)
+        cache.update(0x100, 0, 0x40)
+        cache.reset()
+        assert cache.occupancy() == 0
+
+
+class TestTaggedIndexSchemes:
+    def test_address_indexing_maps_one_jump_to_one_set(self):
+        """The §4.3.1 problem: all of a jump's contexts share a set."""
+        cache = TaggedTargetCache(entries=64, assoc=1,
+                                  indexing=TaggedIndexing.ADDRESS)
+        sets = {cache._locate(0x100, h)[0] for h in range(32)}
+        assert len(sets) == 1
+
+    def test_history_xor_spreads_one_jump_across_sets(self):
+        cache = TaggedTargetCache(entries=64, assoc=1,
+                                  indexing=TaggedIndexing.HISTORY_XOR)
+        sets = {cache._locate(0x100, h)[0] for h in range(32)}
+        assert len(sets) > 16
+
+    def test_history_concat_spreads_too(self):
+        cache = TaggedTargetCache(entries=64, assoc=1,
+                                  indexing=TaggedIndexing.HISTORY_CONCAT)
+        sets = {cache._locate(0x100, h)[0] for h in range(32)}
+        assert len(sets) > 16
+
+
+class TestBoundingPredictors:
+    def test_oracle_predicts_primed_target(self):
+        oracle = OracleTargetPredictor()
+        oracle.prime(0x1234)
+        assert oracle.predict(0, 0) == 0x1234
+        oracle.update(0, 0, 0x1234)
+        assert oracle.predict(0, 0) is None  # consumed
+
+    def test_last_target(self):
+        predictor = LastTargetPredictor()
+        assert predictor.predict(0x100, 0) is None
+        predictor.update(0x100, 0, 0x40)
+        assert predictor.predict(0x100, 99) == 0x40  # history ignored
+        predictor.reset()
+        assert predictor.predict(0x100, 0) is None
+
+
+class TestConfigFactory:
+    def test_builds_every_kind(self):
+        assert isinstance(
+            build_target_cache(TargetCacheConfig(kind="tagless")),
+            TaglessTargetCache,
+        )
+        assert isinstance(
+            build_target_cache(TargetCacheConfig(kind="tagged")),
+            TaggedTargetCache,
+        )
+        assert isinstance(
+            build_target_cache(TargetCacheConfig(kind="oracle")),
+            OracleTargetPredictor,
+        )
+        assert isinstance(
+            build_target_cache(TargetCacheConfig(kind="last_target")),
+            LastTargetPredictor,
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_target_cache(TargetCacheConfig(kind="bogus"))
+
+    def test_labels(self):
+        assert TargetCacheConfig(kind="tagless", scheme="gag").label() == "GAg(9)"
+        assert TargetCacheConfig(
+            kind="tagless", scheme="gas", history_bits=8, address_bits=1
+        ).label() == "GAs(8,1)"
+        assert "tagged" in TargetCacheConfig(kind="tagged").label()
+
+    def test_tagless_table_size_matches_paper(self):
+        """The paper's tagless configurations are 512 entries."""
+        cache = build_target_cache(TargetCacheConfig(kind="tagless"))
+        assert cache.entries == 512

@@ -1,0 +1,153 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import INSTRUCTION_BYTES, BranchKind, InstrClass
+from repro.guest.vm import run_program
+from repro.trace.trace import Trace, TraceRecord
+
+
+def _small_trace():
+    b = ProgramBuilder()
+    b.li(1, 2)
+    b.label("loop")
+    b.addi(1, 1, -1)
+    b.bne(1, 0, "loop")
+    b.halt()
+    return Trace.from_raw(run_program(b.build()))
+
+
+class TestConstruction:
+    def test_from_raw_roundtrip(self):
+        trace = _small_trace()
+        assert len(trace) == 5  # li + 2x(addi, bne)
+        assert trace.pc.dtype == np.uint64
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        trace.validate()  # no-op on empty
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            Trace(pc=[0, 4], instr_class=[0], branch_kind=[0], taken=[0],
+                  target=[0], src1=[0], src2=[0], dst=[0], mem_addr=[0])
+
+
+class TestAccessors:
+    def test_record_materialisation(self):
+        trace = _small_trace()
+        record = trace.record(2)
+        assert isinstance(record, TraceRecord)
+        assert record.branch_kind is BranchKind.COND_DIRECT
+        assert record.taken is True
+        assert record.next_pc == record.target
+
+    def test_record_not_taken_next_pc_is_fallthrough(self):
+        trace = _small_trace()
+        last_branch = trace.record(4)
+        assert last_branch.branch_kind is BranchKind.COND_DIRECT
+        assert not last_branch.taken
+        assert last_branch.next_pc == last_branch.fallthrough
+
+    def test_iteration_yields_records(self):
+        trace = _small_trace()
+        records = list(trace)
+        assert len(records) == len(trace)
+        assert all(isinstance(r, TraceRecord) for r in records)
+
+    def test_slicing_returns_trace_view(self):
+        trace = _small_trace()
+        head = trace[:2]
+        assert isinstance(head, Trace)
+        assert len(head) == 2
+
+    def test_boolean_mask_indexing(self):
+        trace = _small_trace()
+        branches = trace[np.flatnonzero(trace.is_branch)]
+        assert len(branches) == 2
+
+    def test_branches_view(self):
+        trace = _small_trace()
+        assert len(trace.branches()) == int(trace.is_branch.sum())
+
+    def test_equality(self):
+        a = _small_trace()
+        b = _small_trace()
+        assert a == b
+        assert a != a[:3]
+
+
+class TestMasks:
+    def test_indirect_mask_excludes_returns(self):
+        b = ProgramBuilder()
+        b.jmp("main")
+        b.label("fn")
+        b.ret()
+        b.label("dest")
+        b.halt()
+        b.label("main")
+        b.call("fn")
+        b.li(1, "dest")
+        b.jr(1)
+        trace = Trace.from_raw(run_program(b.build(entry="main")))
+        assert int(trace.is_indirect_jump.sum()) == 1  # the jr only
+        assert int(trace.is_return.sum()) == 1
+
+    def test_next_pc_array_matches_execution_order(self):
+        trace = _small_trace()
+        next_pcs = trace.next_pc_array()
+        assert np.array_equal(next_pcs[:-1], trace.pc[1:])
+
+
+class TestValidate:
+    def test_valid_trace_passes(self):
+        _small_trace().validate()
+
+    def test_discontinuity_detected(self):
+        trace = _small_trace()
+        broken = Trace(
+            pc=trace.pc.copy(), instr_class=trace.instr_class,
+            branch_kind=trace.branch_kind, taken=trace.taken,
+            target=trace.target, src1=trace.src1, src2=trace.src2,
+            dst=trace.dst, mem_addr=trace.mem_addr,
+        )
+        broken.pc[1] = 0xDEAD0
+        with pytest.raises(ValueError, match="discontinuity"):
+            broken.validate()
+
+    def test_non_branch_taken_detected(self):
+        trace = _small_trace()
+        taken = trace.taken.copy()
+        taken[0] = True  # the li is not a branch
+        broken = Trace(
+            pc=trace.pc, instr_class=trace.instr_class,
+            branch_kind=trace.branch_kind, taken=taken, target=trace.target,
+            src1=trace.src1, src2=trace.src2, dst=trace.dst,
+            mem_addr=trace.mem_addr,
+        )
+        with pytest.raises(ValueError, match="non-branch"):
+            broken.validate()
+
+    def test_misaligned_target_detected(self):
+        b = ProgramBuilder()
+        b.li(1, INSTRUCTION_BYTES * 2 + 1)
+        b.halt()
+        trace = Trace.from_raw(run_program(b.build()))
+        broken = Trace(
+            pc=[0], instr_class=[int(InstrClass.BRANCH)],
+            branch_kind=[int(BranchKind.UNCOND_DIRECT)], taken=[True],
+            target=[6], src1=[-1], src2=[-1], dst=[-1], mem_addr=[0],
+        )
+        with pytest.raises(ValueError, match="misaligned"):
+            broken.validate()
+        del trace  # silence linters
+
+
+class TestWorkloadTraceValidity:
+    def test_every_workload_trace_validates(self, all_small_traces):
+        for name, trace in all_small_traces.items():
+            trace.validate()
+            assert len(trace) == 25_000, name

@@ -1,0 +1,135 @@
+"""Unit tests for trace statistics (Table 1 / Figures 1-8 machinery)."""
+
+import pytest
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.vm import run_program
+from repro.trace.stats import (
+    branch_mix,
+    indirect_target_histogram,
+    polymorphic_fraction,
+    target_profile,
+    transition_rate,
+)
+from repro.trace.trace import Trace
+
+
+def _dispatch_trace(token_sequence, n_handlers=4, repeats=10):
+    """A loop dispatching through `token_sequence` `repeats` times."""
+    b = ProgramBuilder()
+    b.jmp("main")
+    handlers = [f"h{i}" for i in range(n_handlers)]
+    table = b.data_table(handlers)
+    script = b.data_table(list(token_sequence) * repeats)
+    for name in handlers:
+        b.label(name)
+        b.addi(20, 20, 1)
+        b.jmp("next")
+    b.label("main")
+    b.li(10, 0)
+    b.li(11, len(token_sequence) * repeats)
+    b.label("loop")
+    b.shli(1, 10, 2)
+    b.li(2, script)
+    b.add(1, 1, 2)
+    b.load(3, 1)
+    b.shli(1, 3, 2)
+    b.li(2, table)
+    b.add(1, 1, 2)
+    b.load(4, 1)
+    b.jr(4)
+    b.label("next")
+    b.addi(10, 10, 1)
+    b.blt(10, 11, "loop")
+    b.halt()
+    return Trace.from_raw(run_program(b.build(entry="main")))
+
+
+class TestBranchMix:
+    def test_counts(self):
+        trace = _dispatch_trace([0, 1, 2, 3])
+        mix = branch_mix(trace)
+        assert mix.instructions == len(trace)
+        assert mix.indirect_jumps == 40
+        assert mix.conditional_branches == 40
+        assert mix.branches == mix.conditional_branches + mix.indirect_jumps + 40  # + handler jmps
+        assert 0 < mix.branch_fraction < 1
+        assert mix.indirect_fraction == pytest.approx(40 / len(trace))
+
+    def test_empty_trace(self):
+        mix = branch_mix(Trace.empty())
+        assert mix.instructions == 0
+        assert mix.branch_fraction == 0.0
+
+
+class TestTargetProfile:
+    def test_distinct_targets_counted(self):
+        trace = _dispatch_trace([0, 1, 2, 3])
+        profile = target_profile(trace)
+        assert profile.static_jumps == 1
+        assert profile.max_targets() == 4
+        assert profile.dynamic_jumps == 40
+
+    def test_monomorphic_jump(self):
+        trace = _dispatch_trace([2, 2, 2])
+        profile = target_profile(trace)
+        assert profile.max_targets() == 1
+
+
+class TestHistogram:
+    def test_static_weighting_sums_to_100(self):
+        trace = _dispatch_trace([0, 1, 2, 3])
+        histogram = indirect_target_histogram(trace)
+        assert sum(histogram.values()) == pytest.approx(100.0)
+        assert histogram[4] == pytest.approx(100.0)
+
+    def test_dynamic_weighting(self):
+        trace = _dispatch_trace([0, 1])
+        histogram = indirect_target_histogram(trace, weight="dynamic")
+        assert histogram[2] == pytest.approx(100.0)
+
+    def test_cap_bucket_aggregates(self):
+        trace = _dispatch_trace(list(range(4)), n_handlers=4)
+        histogram = indirect_target_histogram(trace, cap=3)
+        assert histogram[3] == pytest.approx(100.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            indirect_target_histogram(Trace.empty(), weight="bogus")
+
+    def test_no_indirect_jumps_gives_zero_histogram(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.halt()
+        trace = Trace.from_raw(run_program(b.build()))
+        histogram = indirect_target_histogram(trace)
+        assert sum(histogram.values()) == 0.0
+
+
+class TestPolymorphismMetrics:
+    def test_polymorphic_fraction(self):
+        trace = _dispatch_trace([0, 1, 2, 3])
+        assert polymorphic_fraction(trace) == 1.0
+
+    def test_monomorphic_fraction(self):
+        trace = _dispatch_trace([1, 1, 1])
+        assert polymorphic_fraction(trace) == 0.0
+
+    def test_transition_rate_alternating(self):
+        trace = _dispatch_trace([0, 1])
+        # alternating targets: every non-first execution differs
+        assert transition_rate(trace) == pytest.approx(1.0)
+
+    def test_transition_rate_constant(self):
+        trace = _dispatch_trace([3, 3, 3, 3])
+        assert transition_rate(trace) == 0.0
+
+    def test_transition_rate_approximates_btb_mispredicts(self, perl_trace):
+        """The transition rate lower-bounds the BTB misprediction rate and
+        should land close to it for these working-set sizes."""
+        from repro.predictors import EngineConfig, simulate
+
+        rate = transition_rate(perl_trace)
+        btb = simulate(perl_trace, EngineConfig()).indirect_mispred_rate
+        assert btb >= rate - 0.02
+        assert abs(btb - rate) < 0.10

@@ -1,0 +1,153 @@
+"""Tests for the host-side generators inside the workload modules."""
+
+import random
+
+import pytest
+
+from repro.workloads.deltablue_like import DeltablueParams, N_KINDS
+from repro.workloads.gcc_like import (
+    _BINARY_KINDS,
+    _LEAF_KINDS,
+    _UNARY_KINDS,
+    _TreeGen,
+    GccParams,
+)
+from repro.workloads.m88ksim_like import (
+    N_TOY_OPS,
+    T_BEQZ,
+    T_BNEZ,
+    T_JMP,
+    _enc,
+    _toy_program,
+)
+from repro.workloads.perl_like import PerlParams
+from repro.workloads.xlisp_like import TAG_CONS, TAG_FIXNUM, XlispParams, _HeapGen
+
+
+class TestGccTreeGen:
+    def _tree(self, seed=0, max_depth=5, target=9):
+        gen = _TreeGen(random.Random(seed), max_depth, target)
+        gen.generate()
+        return gen.nodes
+
+    def test_root_is_first_node(self):
+        nodes = self._tree()
+        assert nodes[0][0] in _BINARY_KINDS
+
+    def test_child_indices_in_range(self):
+        nodes = self._tree(seed=3)
+        for kind, _value, nkids, kid0, kid1 in nodes:
+            if nkids >= 1:
+                assert 0 <= kid0 < len(nodes)
+            if nkids == 2:
+                assert 0 <= kid1 < len(nodes)
+
+    def test_arity_matches_kind(self):
+        nodes = self._tree(seed=5, target=30)
+        for kind, _value, nkids, _k0, _k1 in nodes:
+            if kind in _LEAF_KINDS:
+                assert nkids == 0
+            elif kind in _UNARY_KINDS:
+                assert nkids == 1
+            else:
+                assert nkids == 2
+
+    def test_value_embeds_kind_signature(self):
+        nodes = self._tree(seed=7, target=20)
+        for kind, value, *_ in nodes:
+            assert value & 0xFF == (kind * 37 + 11) & 0xFF
+
+    def test_tree_is_acyclic_and_connected(self):
+        nodes = self._tree(seed=11, target=25)
+        seen = set()
+
+        def walk(index):
+            assert index not in seen, "cycle detected"
+            seen.add(index)
+            kind, _v, nkids, kid0, kid1 = nodes[index]
+            if nkids >= 1:
+                walk(kid0)
+            if nkids == 2:
+                walk(kid1)
+
+        walk(0)
+        assert seen == set(range(len(nodes)))
+
+    def test_params_defaults_sane(self):
+        params = GccParams()
+        assert params.n_templates > 1
+        assert params.n_statements > params.n_templates
+
+
+class TestM88ksimToyProgram:
+    def test_encoding_roundtrip(self):
+        word = _enc(5, rd=3, rs=7, imm=0x42)
+        assert (word >> 24) & 0xFF == 5
+        assert (word >> 16) & 0xFF == 3
+        assert (word >> 8) & 0xFF == 7
+        assert word & 0xFF == 0x42
+
+    def test_program_opcodes_in_range(self):
+        program = _toy_program(random.Random(0), 16)
+        for word in program:
+            assert 0 <= (word >> 24) & 0xFF < N_TOY_OPS
+
+    def test_branch_targets_in_range(self):
+        program = _toy_program(random.Random(0), 16)
+        for word in program:
+            op = (word >> 24) & 0xFF
+            if op in (T_BEQZ, T_BNEZ, T_JMP):
+                assert 0 <= (word & 0xFF) < len(program)
+
+    def test_program_ends_in_jump(self):
+        program = _toy_program(random.Random(0), 16)
+        assert (program[-1] >> 24) & 0xFF == T_JMP
+
+    def test_opcode_runs_exist(self):
+        """The run structure calibrates the BTB rate; freeze it."""
+        program = _toy_program(random.Random(0), 16)
+        opcodes = [(w >> 24) & 0xFF for w in program]
+        repeats = sum(1 for a, b in zip(opcodes, opcodes[1:]) if a == b)
+        assert repeats / (len(opcodes) - 1) > 0.35
+
+
+class TestXlispHeapGen:
+    def _gen(self, seed=0):
+        return _HeapGen(random.Random(seed), XlispParams(seed=seed))
+
+    def test_expression_returns_valid_cell(self):
+        gen = self._gen()
+        root = gen.expression()
+        assert 0 <= root < len(gen.cells)
+
+    def test_cons_children_precede_parent(self):
+        gen = self._gen(seed=2)
+        root = gen.expression()
+        for index, (tag, a, b_field, _c) in enumerate(gen.cells):
+            if tag == TAG_CONS:
+                assert a < index and b_field < index
+
+    def test_fixnum_bias_respected(self):
+        gen = _HeapGen(random.Random(3), XlispParams(fixnum_bias=1.0))
+        for _ in range(50):
+            cell = gen.atom()
+            assert gen.cells[cell][0] == TAG_FIXNUM
+
+    def test_builtin_ids_in_range(self):
+        gen = self._gen(seed=4)
+        for _ in range(20):
+            gen.expression()
+        for tag, _a, _b, c in gen.cells:
+            if tag == TAG_CONS:
+                assert 0 <= c < 8
+
+
+class TestParamsDataclasses:
+    def test_perl_params_frozen(self):
+        params = PerlParams()
+        with pytest.raises(Exception):
+            params.seed = 1  # type: ignore[misc]
+
+    def test_deltablue_kind_count_matches_methods(self):
+        assert N_KINDS == 6
+        assert DeltablueParams().plan_length > 0

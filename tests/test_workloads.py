@@ -1,0 +1,135 @@
+"""Tests for the eight synthetic workloads and their registry."""
+
+import pytest
+
+from repro.guest.vm import run_program
+from repro.trace.stats import branch_mix, indirect_target_histogram, target_profile
+from repro.trace.trace import Trace
+from repro.workloads import build_program, get_trace, workload_names
+from repro.workloads.registry import WORKLOADS
+
+
+class TestRegistry:
+    def test_all_eight_benchmarks_present(self):
+        assert workload_names() == sorted(
+            ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex",
+             "xlisp"]
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_program("spice")
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_trace("spice")
+
+    def test_specs_carry_paper_calibration(self):
+        for spec in WORKLOADS.values():
+            assert 0.0 < spec.paper_btb_mispred < 1.0
+            assert spec.description
+
+
+class TestEveryWorkload:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_builds_and_validates(self, name, all_small_traces):
+        trace = all_small_traces[name]
+        trace.validate()
+        mix = branch_mix(trace)
+        assert mix.indirect_jumps > 20, f"{name} has too few indirect jumps"
+        assert 0.05 < mix.branch_fraction < 0.45
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_per_seed(self, name):
+        a = get_trace(name, n_instructions=5_000, seed=7, use_cache=False)
+        b = get_trace(name, n_instructions=5_000, seed=7, use_cache=False)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["perl", "gcc"])
+    def test_seed_changes_trace(self, name):
+        a = get_trace(name, n_instructions=5_000, seed=1, use_cache=False)
+        b = get_trace(name, n_instructions=5_000, seed=2, use_cache=False)
+        assert a != b
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_program_runs_beyond_trace_cap(self, name):
+        """Workloads are endless loops: they never halt under the cap."""
+        program = build_program(name)
+        raw = run_program(program, max_instructions=5_000)
+        assert len(raw) == 5_000
+        assert not raw.halted
+
+
+class TestFigureShapes:
+    """Figures 1-8: gcc/perl have many-target jumps, others mostly few."""
+
+    def test_perl_main_dispatch_is_megamorphic(self, all_small_traces):
+        profile = target_profile(all_small_traces["perl"])
+        assert profile.max_targets() >= 15
+
+    def test_perl_has_few_static_indirect_jumps(self, all_small_traces):
+        profile = target_profile(all_small_traces["perl"])
+        assert profile.static_jumps <= 8
+
+    def test_gcc_has_many_static_indirect_jumps(self, gcc_trace):
+        # needs the longer trace: later passes' switches only execute once
+        # the first full pass over the forest completes
+        profile = target_profile(gcc_trace)
+        assert profile.static_jumps >= 8
+
+    def test_gcc_walker_switches_are_megamorphic(self, all_small_traces):
+        profile = target_profile(all_small_traces["gcc"])
+        assert profile.max_targets() >= 12
+
+    @pytest.mark.parametrize("name", ["compress", "ijpeg", "vortex"])
+    def test_low_mispredict_benchmarks_have_few_targets(
+        self, name, all_small_traces
+    ):
+        profile = target_profile(all_small_traces[name])
+        assert profile.max_targets() <= 9
+
+    def test_histograms_are_normalised(self, all_small_traces):
+        for name, trace in all_small_traces.items():
+            histogram = indirect_target_histogram(trace)
+            assert sum(histogram.values()) == pytest.approx(100.0), name
+
+
+class TestCalibration:
+    """Our BTB misprediction rates must stay in the paper's band — these
+    tests freeze the calibration so refactors cannot silently break it."""
+
+    # (workload, low, high) around the paper's Table 1 values
+    BANDS = [
+        ("compress", 0.08, 0.25),
+        ("gcc", 0.40, 0.75),
+        ("go", 0.30, 0.60),
+        ("ijpeg", 0.04, 0.20),
+        ("m88ksim", 0.20, 0.50),
+        ("perl", 0.60, 0.90),
+        ("vortex", 0.04, 0.18),
+        ("xlisp", 0.12, 0.35),
+    ]
+
+    @pytest.mark.parametrize("name,low,high", BANDS)
+    def test_btb_mispred_in_band(self, name, low, high, all_small_traces):
+        from repro.predictors import EngineConfig, simulate
+
+        stats = simulate(all_small_traces[name], EngineConfig())
+        assert low <= stats.indirect_mispred_rate <= high
+
+    def test_ordering_matches_paper(self, all_small_traces):
+        """perl and gcc worst; vortex/ijpeg/compress best (Table 1)."""
+        from repro.predictors import EngineConfig, simulate
+
+        rates = {
+            name: simulate(trace, EngineConfig()).indirect_mispred_rate
+            for name, trace in all_small_traces.items()
+        }
+        worst = sorted(rates, key=rates.get, reverse=True)[:3]
+        best = sorted(rates, key=rates.get)[:3]
+        assert "perl" in worst and "gcc" in worst
+        assert set(best) <= {"vortex", "ijpeg", "compress", "xlisp"}
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_indirect_density_below_seven_percent(self, name,
+                                                  all_small_traces):
+        mix = branch_mix(all_small_traces[name])
+        assert mix.indirect_fraction < 0.07
