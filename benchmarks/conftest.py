@@ -17,6 +17,20 @@ import pytest
 from repro.experiments.common import ExperimentContext
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Benchmarks measure real regenerations, not result-cache hits."""
+    previous = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = str(
+        tmp_path_factory.mktemp("result-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RESULT_CACHE", None)
+    else:
+        os.environ["REPRO_RESULT_CACHE"] = previous
+
+
 def bench_trace_length() -> int:
     return int(os.environ.get("REPRO_BENCH_TRACE_LENGTH", "100000"))
 

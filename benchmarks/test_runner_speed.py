@@ -1,0 +1,71 @@
+"""Speed guard for the sweep fast path.
+
+Asserts the structural win of :func:`repro.predictors.simulate_many`: over
+a batch of configs it must beat the same number of independent
+:func:`simulate` calls, because the per-call trace decode (boolean scan,
+fancy indexing, numpy-scalar unboxing, enum table lookups) happens once
+instead of N times.  Timing uses min-of-several rounds so scheduler noise
+cannot mask a real regression — if this fails, someone re-introduced
+per-call work into the batched path.
+
+Needs no pytest-benchmark; runs with plain pytest:
+``PYTHONPATH=src python -m pytest -q benchmarks/test_runner_speed.py``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.predictors import EngineConfig, simulate, simulate_many
+from repro.workloads import get_trace
+
+#: ijpeg has the lowest branch density of the eight workloads, i.e. the
+#: largest decode share — the clearest signal for this guard.
+WORKLOAD = "ijpeg"
+N_CONFIGS = 8
+ROUNDS = 5
+
+
+def _trace_length() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRACE_LENGTH", "100000"))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace(WORKLOAD, n_instructions=_trace_length())
+
+
+@pytest.fixture(scope="module")
+def configs():
+    # BTB-geometry sweep: eight distinct cells, no shared predictor state
+    return [EngineConfig(btb_sets=1 << bits) for bits in range(4, 4 + N_CONFIGS)]
+
+
+def _min_time(func, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_simulate_many_beats_independent_calls(trace, configs):
+    independent = _min_time(lambda: [simulate(trace, c) for c in configs])
+    batched = _min_time(lambda: simulate_many(trace, configs))
+    assert batched < independent, (
+        f"simulate_many over {N_CONFIGS} configs took {batched:.3f}s but "
+        f"{N_CONFIGS} independent simulate calls took {independent:.3f}s — "
+        "the batched path lost its decode reuse"
+    )
+
+
+def test_simulate_many_results_match_independent_calls(trace, configs):
+    # the guard is worthless if the fast path drifts numerically
+    batched = simulate_many(trace, configs)
+    for config, stats in zip(configs, batched):
+        reference = simulate(trace, config)
+        assert stats.branches == reference.branches
+        assert stats.branch_mispredictions == reference.branch_mispredictions
+        assert stats.btb_hits == reference.btb_hits

@@ -9,7 +9,9 @@ Subcommands::
     repro dump <workload> [--head N]  # disassemble a workload's code
 
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
-``--seed S``, ``--no-cache``.
+``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
+processes for experiment sweeps), ``--no-result-cache`` (bypass the
+persistent prediction-result cache, see :mod:`repro.runner`).
 """
 
 from __future__ import annotations
@@ -47,6 +49,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1997)
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk trace cache")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for experiment sweeps "
+                             "(default: REPRO_JOBS, else 1)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="bypass the persistent prediction-result cache")
     return parser
 
 
@@ -55,6 +62,8 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         trace_length=args.trace_length,
         seed=args.seed,
         use_trace_cache=not args.no_cache,
+        jobs=args.jobs,
+        use_result_cache=not args.no_result_cache,
     )
 
 

@@ -25,19 +25,27 @@ from repro.experiments.configs import (
 HISTORY_BITS = [6, 7, 8, 9, 10, 11, 12]   # 64 .. 4096 entries
 
 
+def _config(benchmark: str, bits: int):
+    if benchmark == "perl":
+        history = path_scheme_history("ind jmp", bits=bits)
+    else:
+        history = pattern_history(bits)
+    return tagless_engine(history_bits=bits, history=history)
+
+
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    ctx.predictions([
+        (benchmark, _config(benchmark, bits))
+        for benchmark in FOCUS_BENCHMARKS for bits in HISTORY_BITS
+    ])
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
-        values = []
-        for bits in HISTORY_BITS:
-            if benchmark == "perl":
-                history = path_scheme_history("ind jmp", bits=bits)
-            else:
-                history = pattern_history(bits)
-            config = tagless_engine(history_bits=bits, history=history)
-            values.append(
-                ctx.prediction(benchmark, config).indirect_mispred_rate
-            )
+        values = [
+            ctx.prediction(
+                benchmark, _config(benchmark, bits)
+            ).indirect_mispred_rate
+            for bits in HISTORY_BITS
+        ]
         rows.append((benchmark, values))
     return ExperimentTable(
         experiment_id="Extension: capacity",

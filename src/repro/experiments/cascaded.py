@@ -36,6 +36,12 @@ def _engine(kind: str, entries: int, benchmark: str) -> EngineConfig:
 
 
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    ctx.predictions([
+        (benchmark, _engine(kind, entries, benchmark))
+        for benchmark in FOCUS_BENCHMARKS
+        for entries in ENTRIES
+        for kind in ("tagged", "cascaded")
+    ])
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
         for entries in ENTRIES:

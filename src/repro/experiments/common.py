@@ -3,8 +3,12 @@
 :class:`ExperimentContext` owns everything an experiment needs — traces
 (disk-cached), the machine model, per-trace memory-penalty arrays, and the
 baseline (BTB-only) prediction/timing results that every "reduction in
-execution time" cell is measured against.  Keeping these memoised on the
-context is what makes the paper's multi-hundred-cell sweeps tractable.
+execution time" cell is measured against.  Every prediction run goes
+through :mod:`repro.runner`: results are memoised in-process per
+``(benchmark, config)``, persisted in the on-disk result cache, and — via
+:meth:`ExperimentContext.predictions` — fanned out over a process pool
+when ``jobs > 1``.  Experiments prefetch their whole cell list up front so
+the sweep parallelises, then read individual cells from the memo.
 """
 
 from __future__ import annotations
@@ -17,7 +21,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.pipeline import MachineConfig, memory_penalties, run_timing
-from repro.predictors import EngineConfig, PredictionStats, simulate
+from repro.predictors import EngineConfig, PredictionStats
+from repro.runner import (
+    ResultCache,
+    SweepCell,
+    default_jobs,
+    run_cells,
+    timing_key,
+)
 from repro.trace.trace import Trace
 from repro.workloads import get_trace
 
@@ -104,19 +115,29 @@ class ExperimentTable:
 
 
 class ExperimentContext:
-    """Memoised traces, baselines and timing for one experiment session."""
+    """Memoised traces, baselines and timing for one experiment session.
+
+    ``jobs`` sets the process-pool width for batched sweeps (default: the
+    ``REPRO_JOBS`` environment variable, else 1); ``use_result_cache``
+    controls the persistent on-disk result cache (default: on, unless
+    ``REPRO_RESULT_CACHE=0``).
+    """
 
     def __init__(self, trace_length: Optional[int] = None, seed: int = 1997,
                  machine: Optional[MachineConfig] = None,
-                 use_trace_cache: bool = True) -> None:
+                 use_trace_cache: bool = True,
+                 jobs: Optional[int] = None,
+                 use_result_cache: bool = True) -> None:
         self.trace_length = trace_length or default_trace_length()
         self.seed = seed
         self.machine = machine or MachineConfig()
         self.use_trace_cache = use_trace_cache
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self._result_cache = ResultCache.from_env() if use_result_cache else None
         self._traces: Dict[str, Trace] = {}
         self._penalties: Dict[str, np.ndarray] = {}
-        self._base_stats: Dict[str, PredictionStats] = {}
-        self._base_cycles: Dict[str, int] = {}
+        self._predictions: Dict[Tuple[str, EngineConfig], PredictionStats] = {}
+        self._cycles: Dict[Tuple[str, EngineConfig], int] = {}
 
     # ------------------------------------------------------------------
     def trace(self, benchmark: str) -> Trace:
@@ -135,36 +156,90 @@ class ExperimentContext:
         return self._penalties[benchmark]
 
     # ------------------------------------------------------------------
+    def predictions(self, cells: Sequence[Tuple[str, EngineConfig]],
+                    collect_mask: bool = False) -> List[PredictionStats]:
+        """Batch prediction API: the sweep fast path.
+
+        Returns one :class:`PredictionStats` per ``(benchmark, config)``
+        cell, in order.  Cells already memoised (with a mask, if
+        ``collect_mask``) are free; the rest go through
+        :func:`repro.runner.run_cells` — persistent result cache first,
+        then ``self.jobs`` worker processes.  Experiments call this once
+        with every cell they will need, then read single cells through
+        :meth:`prediction`, which hits the memo.
+        """
+        missing = [
+            (benchmark, config) for benchmark, config in dict.fromkeys(cells)
+            if not self._memoised(benchmark, config, collect_mask)
+        ]
+        if missing:
+            sweep = [
+                SweepCell(benchmark, config, collect_mask=collect_mask)
+                for benchmark, config in missing
+            ]
+            computed = run_cells(
+                sweep, jobs=self.jobs,
+                trace_length=self.trace_length, seed=self.seed,
+                use_trace_cache=self.use_trace_cache,
+                result_cache=self._result_cache,
+                trace_provider=self.trace,
+            )
+            for (benchmark, config), stats in zip(missing, computed):
+                self._predictions[(benchmark, config)] = stats
+        return [self._predictions[cell] for cell in cells]
+
+    def _memoised(self, benchmark: str, config: EngineConfig,
+                  collect_mask: bool) -> bool:
+        stats = self._predictions.get((benchmark, config))
+        if stats is None:
+            return False
+        return not collect_mask or stats.mispredict_mask is not None
+
     def prediction(self, benchmark: str, config: EngineConfig,
                    collect_mask: bool = False) -> PredictionStats:
-        """Run the fetch-engine simulation (not memoised: configs vary)."""
-        return simulate(self.trace(benchmark), config, collect_mask=collect_mask)
+        """Fetch-engine simulation, memoised per ``(benchmark, config)``.
+
+        A memo entry carrying the mispredict mask satisfies maskless
+        requests too, so baseline-equal cells across tables simulate once.
+        """
+        return self.predictions([(benchmark, config)],
+                                collect_mask=collect_mask)[0]
 
     def baseline(self, benchmark: str) -> PredictionStats:
         """BTB-only prediction stats with the mispredict mask, memoised."""
-        if benchmark not in self._base_stats:
-            self._base_stats[benchmark] = self.prediction(
-                benchmark, EngineConfig(), collect_mask=True
-            )
-        return self._base_stats[benchmark]
+        return self.prediction(benchmark, EngineConfig(), collect_mask=True)
 
     def baseline_cycles(self, benchmark: str) -> int:
-        if benchmark not in self._base_cycles:
-            result = run_timing(
-                self.trace(benchmark), self.machine,
-                self.baseline(benchmark).mispredict_mask,
-                self.penalty(benchmark),
-            )
-            self._base_cycles[benchmark] = result.cycles
-        return self._base_cycles[benchmark]
+        """Cycles of the BTB-only base machine (the paper's reference)."""
+        return self.cycles(benchmark, EngineConfig())
 
     def cycles(self, benchmark: str, config: EngineConfig) -> int:
-        """Execution cycles of the machine with this predictor config."""
+        """Execution cycles of the machine with this predictor config.
+
+        Memoised in-process and, when the result cache is on, persisted
+        under a :func:`~repro.runner.timing_key` — so a warm re-run skips
+        the timing model as well as the simulations.
+        """
+        key = (benchmark, config)
+        if key not in self._cycles:
+            self._cycles[key] = self._compute_cycles(benchmark, config)
+        return self._cycles[key]
+
+    def _compute_cycles(self, benchmark: str, config: EngineConfig) -> int:
+        cache_key = None
+        if self._result_cache is not None:
+            cache_key = timing_key(benchmark, config, self.trace_length,
+                                   self.seed, self.machine)
+            cached = self._result_cache.load_cycles(cache_key)
+            if cached is not None:
+                return cached
         stats = self.prediction(benchmark, config, collect_mask=True)
         result = run_timing(
             self.trace(benchmark), self.machine,
             stats.mispredict_mask, self.penalty(benchmark),
         )
+        if cache_key is not None:
+            self._result_cache.store_cycles(cache_key, result.cycles)
         return result.cycles
 
     def execution_time_reduction(self, benchmark: str,

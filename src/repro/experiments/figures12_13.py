@@ -18,11 +18,20 @@ from repro.experiments.common import (
     ExperimentTable,
 )
 from repro.experiments.configs import tagged_engine, tagless_engine
+from repro.predictors import EngineConfig
 
 ASSOCIATIVITIES = [1, 2, 4, 8, 16]
 
 
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    cells = [(benchmark, EngineConfig()) for benchmark in FOCUS_BENCHMARKS]
+    cells += [
+        (benchmark, config)
+        for benchmark in FOCUS_BENCHMARKS
+        for config in [tagged_engine(assoc=a) for a in ASSOCIATIVITIES]
+        + [tagless_engine()]
+    ]
+    ctx.predictions(cells, collect_mask=True)
     columns = [f"tagged {a}-way" for a in ASSOCIATIVITIES] + ["tagless 512"]
     rows = []
     for benchmark in FOCUS_BENCHMARKS:

@@ -15,6 +15,7 @@ best-overall design point).
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.predictors import EngineConfig
 from repro.experiments.configs import (
     pattern_history,
     path_scheme_history,
@@ -34,6 +35,15 @@ BEST_TAGGED = {
 
 
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    ctx.predictions(
+        [
+            (benchmark, config)
+            for benchmark in ("perl", "gcc")
+            for config in (EngineConfig(), BEST_TAGLESS[benchmark],
+                           BEST_TAGGED[benchmark])
+        ],
+        collect_mask=True,
+    )
     rows = []
     for benchmark in ("perl", "gcc"):
         base = ctx.baseline(benchmark).indirect_mispred_rate

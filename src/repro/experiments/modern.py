@@ -53,7 +53,25 @@ def ittage_engine(entries_per_component: int = 128) -> EngineConfig:
     )
 
 
+def _cascade_engine(history: HistoryConfig) -> EngineConfig:
+    return EngineConfig(
+        target_cache=TargetCacheConfig(kind="cascaded", entries=256, assoc=4),
+        history=history,
+    )
+
+
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    ctx.predictions([(benchmark, EngineConfig()) for benchmark in BENCHMARKS],
+                    collect_mask=True)
+    ctx.predictions([
+        (benchmark, config)
+        for benchmark in BENCHMARKS
+        for config in (
+            tagless_engine(history=best_classic_history(benchmark)),
+            _cascade_engine(best_classic_history(benchmark)),
+            ittage_engine(),
+        )
+    ])
     rows = []
     for benchmark in BENCHMARKS:
         base = ctx.baseline(benchmark).indirect_mispred_rate
@@ -61,11 +79,9 @@ def run(ctx: ExperimentContext) -> ExperimentTable:
         classic = ctx.prediction(
             benchmark, tagless_engine(history=history)
         ).indirect_mispred_rate
-        cascade = ctx.prediction(benchmark, EngineConfig(
-            target_cache=TargetCacheConfig(kind="cascaded", entries=256,
-                                           assoc=4),
-            history=history,
-        )).indirect_mispred_rate
+        cascade = ctx.prediction(
+            benchmark, _cascade_engine(history)
+        ).indirect_mispred_rate
         ittage = ctx.prediction(
             benchmark, ittage_engine()
         ).indirect_mispred_rate

@@ -21,6 +21,7 @@ from repro.experiments.configs import (
     tagged_engine,
     tagless_engine,
 )
+from repro.predictors import EngineConfig
 from repro.trace.stats import branch_mix
 
 BENCHMARKS = ("richards", "deltablue")
@@ -32,6 +33,15 @@ _HISTORY = path_scheme_history("ind jmp", bits=10, bits_per_target=2)
 
 
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    ctx.predictions(
+        [
+            (benchmark, config)
+            for benchmark in BENCHMARKS
+            for config in (EngineConfig(), tagless_engine(history=_HISTORY),
+                           tagged_engine(assoc=8, history=_HISTORY))
+        ],
+        collect_mask=True,
+    )
     rows = []
     for benchmark in BENCHMARKS:
         trace = ctx.trace(benchmark)

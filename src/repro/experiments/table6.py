@@ -21,22 +21,36 @@ from repro.experiments.configs import (
     path_scheme_history,
     tagless_engine,
 )
+from repro.predictors import EngineConfig
 
 BITS_PER_TARGET = [1, 2, 3]
 
 
+def _config(scheme: str, bits_per_target: int):
+    history = path_scheme_history(
+        scheme, bits=9, bits_per_target=bits_per_target, address_bit=2
+    )
+    return tagless_engine(history=history)
+
+
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    cells = [(benchmark, EngineConfig()) for benchmark in FOCUS_BENCHMARKS]
+    cells += [
+        (benchmark, _config(scheme, bits_per_target))
+        for benchmark in FOCUS_BENCHMARKS
+        for bits_per_target in BITS_PER_TARGET
+        for scheme in PATH_SCHEME_LABELS
+    ]
+    ctx.predictions(cells, collect_mask=True)
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
         for bits_per_target in BITS_PER_TARGET:
-            values = []
-            for scheme in PATH_SCHEME_LABELS:
-                history = path_scheme_history(
-                    scheme, bits=9, bits_per_target=bits_per_target,
-                    address_bit=2,
+            values = [
+                ctx.execution_time_reduction(
+                    benchmark, _config(scheme, bits_per_target)
                 )
-                config = tagless_engine(history=history)
-                values.append(ctx.execution_time_reduction(benchmark, config))
+                for scheme in PATH_SCHEME_LABELS
+            ]
             rows.append((f"{benchmark} {bits_per_target}b/target", values))
     return ExperimentTable(
         experiment_id="Table 6",

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     ExperimentTable,
 )
 from repro.experiments.configs import tagged_engine
+from repro.predictors import EngineConfig
 from repro.predictors.target_cache import TaggedIndexing
 
 ASSOCIATIVITIES = [1, 2, 4, 8, 16, 32]
@@ -33,6 +34,14 @@ INDEXINGS = [
 
 
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    cells = [(benchmark, EngineConfig()) for benchmark in FOCUS_BENCHMARKS]
+    cells += [
+        (benchmark, tagged_engine(assoc=assoc, indexing=indexing))
+        for benchmark in FOCUS_BENCHMARKS
+        for assoc in ASSOCIATIVITIES
+        for _, indexing in INDEXINGS
+    ]
+    ctx.predictions(cells, collect_mask=True)
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
         for assoc in ASSOCIATIVITIES:

@@ -20,20 +20,32 @@ from repro.experiments.configs import (
     path_scheme_history,
     tagged_engine,
 )
+from repro.predictors import EngineConfig
 
 ASSOCIATIVITIES = [1, 2, 4, 8, 16]
 
 
+def _config(scheme: str, assoc: int):
+    history = path_scheme_history(scheme, bits=9, bits_per_target=1)
+    return tagged_engine(assoc=assoc, history=history)
+
+
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    cells = [(benchmark, EngineConfig()) for benchmark in FOCUS_BENCHMARKS]
+    cells += [
+        (benchmark, _config(scheme, assoc))
+        for benchmark in FOCUS_BENCHMARKS
+        for assoc in ASSOCIATIVITIES
+        for scheme in PATH_SCHEME_LABELS
+    ]
+    ctx.predictions(cells, collect_mask=True)
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
         for assoc in ASSOCIATIVITIES:
-            values = []
-            for scheme in PATH_SCHEME_LABELS:
-                history = path_scheme_history(scheme, bits=9,
-                                              bits_per_target=1)
-                config = tagged_engine(assoc=assoc, history=history)
-                values.append(ctx.execution_time_reduction(benchmark, config))
+            values = [
+                ctx.execution_time_reduction(benchmark, _config(scheme, assoc))
+                for scheme in PATH_SCHEME_LABELS
+            ]
             rows.append((f"{benchmark} {assoc}-way", values))
     return ExperimentTable(
         experiment_id="Table 8",

@@ -17,22 +17,34 @@ from repro.experiments.common import (
     ExperimentTable,
 )
 from repro.experiments.configs import pattern_history, tagged_engine
+from repro.predictors import EngineConfig
 
 ASSOCIATIVITIES = [1, 2, 4, 8, 16, 32]
 HISTORY_BITS = [9, 16]
 
 
+def _config(assoc: int, bits: int):
+    return tagged_engine(
+        assoc=assoc, history_bits=bits, history=pattern_history(bits)
+    )
+
+
 def run(ctx: ExperimentContext) -> ExperimentTable:
+    cells = [(benchmark, EngineConfig()) for benchmark in FOCUS_BENCHMARKS]
+    cells += [
+        (benchmark, _config(assoc, bits))
+        for benchmark in FOCUS_BENCHMARKS
+        for assoc in ASSOCIATIVITIES
+        for bits in HISTORY_BITS
+    ]
+    ctx.predictions(cells, collect_mask=True)
     rows = []
     for benchmark in FOCUS_BENCHMARKS:
         for assoc in ASSOCIATIVITIES:
-            values = []
-            for bits in HISTORY_BITS:
-                config = tagged_engine(
-                    assoc=assoc, history_bits=bits,
-                    history=pattern_history(bits),
-                )
-                values.append(ctx.execution_time_reduction(benchmark, config))
+            values = [
+                ctx.execution_time_reduction(benchmark, _config(assoc, bits))
+                for bits in HISTORY_BITS
+            ]
             rows.append((f"{benchmark} {assoc}-way", values))
     return ExperimentTable(
         experiment_id="Table 9",

@@ -22,12 +22,15 @@ This package implements every prediction structure the paper simulates:
 from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
 from repro.predictors.direction import DirectionPredictor, DirectionConfig
 from repro.predictors.engine import (
+    DecodedBranches,
     EngineConfig,
     FetchEngine,
     HistoryConfig,
     HistorySource,
     PredictionStats,
+    decode_branches,
     simulate,
+    simulate_many,
 )
 from repro.predictors.history import (
     PathFilter,
@@ -63,7 +66,10 @@ __all__ = [
     "HistoryConfig",
     "HistorySource",
     "PredictionStats",
+    "DecodedBranches",
+    "decode_branches",
     "simulate",
+    "simulate_many",
     "PathFilter",
     "PathHistoryRegister",
     "PatternHistoryRegister",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -52,6 +52,20 @@ from repro.predictors.target_cache import (
     build_target_cache,
 )
 from repro.trace.trace import Trace
+
+
+#: value -> BranchKind, indexable by the raw uint8 stored in a trace row.
+#: Hot loops use this instead of calling the ``BranchKind`` constructor per
+#: dynamic branch (enum ``__call__`` is a by-value hash lookup plus a
+#: function call; a tuple index is ~10x cheaper).
+KIND_BY_VALUE = tuple(BranchKind(value) for value in range(max(BranchKind) + 1))
+
+#: Kinds the paper routes through the target cache (module-level so the
+#: per-branch test is a frozenset membership, not an enum property call).
+_TARGET_CACHE_KINDS = frozenset(
+    {BranchKind.CALL_INDIRECT, BranchKind.IND_JUMP}
+)
+_CALL_KINDS = frozenset({BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT})
 
 
 class HistorySource(Enum):
@@ -203,11 +217,23 @@ class FetchEngine:
             address_bit=history.address_bit,
         )
         self._oracle = isinstance(self.target_cache, OracleTargetPredictor)
+        # Hot-loop precomputation: the set of kinds this engine routes to
+        # the target cache never changes after construction, so the
+        # per-branch dispatch is a frozenset membership instead of a chain
+        # of attribute lookups and property calls.
+        self._tc_handles_returns = config.target_cache_handles_returns
+        if self.target_cache is None:
+            self._tc_kinds: frozenset = frozenset()
+        elif self._tc_handles_returns:
+            self._tc_kinds = _TARGET_CACHE_KINDS | {BranchKind.RETURN}
+        else:
+            self._tc_kinds = _TARGET_CACHE_KINDS
+        self._history_source = history.source
 
     # ------------------------------------------------------------------
     def target_cache_history(self, pc: int) -> int:
         """The history value that indexes the target cache for jump ``pc``."""
-        source = self.config.history.source
+        source = self._history_source
         if source is HistorySource.PATTERN:
             return self.pattern_history.value
         if source is HistorySource.PATH_GLOBAL:
@@ -215,11 +241,7 @@ class FetchEngine:
         return self.per_address_history.value(pc)
 
     def _uses_target_cache(self, kind: BranchKind) -> bool:
-        if self.target_cache is None:
-            return False
-        if kind.is_predicted_by_target_cache:
-            return True
-        return kind is BranchKind.RETURN and self.config.target_cache_handles_returns
+        return kind in self._tc_kinds
 
     # ------------------------------------------------------------------
     def process_branch(self, pc: int, kind: BranchKind, taken: bool,
@@ -243,11 +265,11 @@ class FetchEngine:
                     predicted = entry.target
                 else:
                     predicted = fallthrough
-            elif entry_kind is BranchKind.RETURN and not self.config.target_cache_handles_returns:
+            elif entry_kind is BranchKind.RETURN and not self._tc_handles_returns:
                 popped = self.ras.pop()
                 popped_ras = True
                 predicted = popped if popped is not None else fallthrough
-            elif self._uses_target_cache(entry_kind):
+            elif entry_kind in self._tc_kinds:
                 history_for_tc = self.target_cache_history(pc)
                 if self._oracle:
                     self.target_cache.prime(target)  # type: ignore[union-attr]
@@ -257,7 +279,7 @@ class FetchEngine:
                 # Direct jumps/calls, and indirect ones without a target
                 # cache: the BTB's stored (last) target.
                 predicted = entry.target
-            if entry_kind.is_call:
+            if entry_kind in _CALL_KINDS:
                 self.ras.push(entry.fallthrough)
 
         mispredicted = predicted != next_pc
@@ -267,9 +289,9 @@ class FetchEngine:
             self.direction.update(pc, self.pattern_history.value, taken)
             self.pattern_history.update(taken)
         self.path_history.update(kind, next_pc, redirected=taken)
-        if kind.is_predicted_by_target_cache:
+        if kind in _TARGET_CACHE_KINDS:
             self.per_address_history.update(pc, target)
-        if self._uses_target_cache(kind):
+        if kind in self._tc_kinds:
             if entry is None:
                 # The BTB did not identify the jump, so no fetch-time access
                 # happened; index with the history as of now (identical in
@@ -280,40 +302,76 @@ class FetchEngine:
             # The BTB missed on this return, so fetch never consumed the
             # RAS; consume it now to keep call/return pairing balanced.
             self.ras.pop()
-        if kind.is_call and entry is None:
+        if kind in _CALL_KINDS and entry is None:
             self.ras.push(fallthrough)
         stored_target_correct = entry is not None and entry.target == target
         self.btb.update(pc, kind, target, predicted_target_correct=stored_target_correct)
         return mispredicted
 
 
+class DecodedBranches:
+    """Branch rows of one trace, pre-extracted into plain Python lists.
+
+    Decoding (boolean scan, fancy indexing, numpy-scalar unboxing, enum
+    conversion) is identical for every :class:`EngineConfig`, so sweeps that
+    simulate the same trace under many configs should decode once via
+    :func:`decode_branches` and pass the result to :func:`simulate` — or use
+    :func:`simulate_many`, which does exactly that.
+    """
+
+    __slots__ = ("instructions", "rows", "pcs", "kinds", "takens",
+                 "targets", "next_pcs")
+
+    def __init__(self, instructions: int, rows, pcs, kinds, takens,
+                 targets, next_pcs) -> None:
+        self.instructions = instructions
+        self.rows = rows
+        self.pcs = pcs
+        self.kinds = kinds
+        self.takens = takens
+        self.targets = targets
+        self.next_pcs = next_pcs
+
+
+def decode_branches(trace: Trace) -> DecodedBranches:
+    """Extract ``trace``'s branch rows into loop-ready Python lists."""
+    branch_rows = np.flatnonzero(trace.is_branch)
+    kind_table = KIND_BY_VALUE
+    return DecodedBranches(
+        instructions=len(trace),
+        rows=branch_rows.tolist(),
+        pcs=trace.pc[branch_rows].tolist(),
+        kinds=[kind_table[v] for v in trace.branch_kind[branch_rows].tolist()],
+        takens=trace.taken[branch_rows].tolist(),
+        targets=trace.target[branch_rows].tolist(),
+        next_pcs=trace.next_pc_array()[branch_rows].tolist(),
+    )
+
+
 def simulate(trace: Trace, config: EngineConfig,
-             collect_mask: bool = False) -> PredictionStats:
+             collect_mask: bool = False,
+             decoded: Optional[DecodedBranches] = None) -> PredictionStats:
     """Run ``trace`` through a fresh :class:`FetchEngine`.
 
     Only control-flow rows touch predictor state, so the loop walks just
     those; ``collect_mask=True`` additionally materialises the full-length
-    per-instruction mispredict mask the timing model needs.
+    per-instruction mispredict mask the timing model needs.  ``decoded``
+    lets callers sweeping many configs over one trace amortise the row
+    decode (see :func:`simulate_many`).
     """
+    if decoded is None:
+        decoded = decode_branches(trace)
     engine = FetchEngine(config)
-    stats = PredictionStats(instructions=len(trace))
-    mask = np.zeros(len(trace), dtype=bool) if collect_mask else None
-
-    branch_rows = np.flatnonzero(trace.is_branch)
-    pcs = trace.pc[branch_rows].tolist()
-    kinds = trace.branch_kind[branch_rows].tolist()
-    takens = trace.taken[branch_rows].tolist()
-    targets = trace.target[branch_rows].tolist()
-    next_pcs = trace.next_pc_array()[branch_rows].tolist()
-    rows = branch_rows.tolist()
+    stats = PredictionStats(instructions=decoded.instructions)
+    mask = np.zeros(decoded.instructions, dtype=bool) if collect_mask else None
 
     process = engine.process_branch
     counters = {kind: stats.counters(kind) for kind in BranchKind}
-    for row, pc, kind_value, taken, target, next_pc in zip(
-        rows, pcs, kinds, takens, targets, next_pcs
+    for row, pc, kind, taken, target, next_pc in zip(
+        decoded.rows, decoded.pcs, decoded.kinds, decoded.takens,
+        decoded.targets, decoded.next_pcs
     ):
-        kind = BranchKind(kind_value)
-        mispredicted = process(pc, kind, bool(taken), target, next_pc)
+        mispredicted = process(pc, kind, taken, target, next_pc)
         counter = counters[kind]
         counter.executed += 1
         if mispredicted:
@@ -325,3 +383,19 @@ def simulate(trace: Trace, config: EngineConfig,
     stats.btb_hits = engine.btb.hits
     stats.mispredict_mask = mask
     return stats
+
+
+def simulate_many(trace: Trace, configs: Sequence[EngineConfig],
+                  collect_mask: bool = False) -> List[PredictionStats]:
+    """Simulate ``trace`` under each config, decoding the trace only once.
+
+    The sweep fast path: re-slicing the trace per cell costs a full pass
+    over the instruction array plus per-branch enum construction, all of it
+    config-independent.  Results are bit-identical to independent
+    :func:`simulate` calls (each config still gets a fresh engine).
+    """
+    decoded = decode_branches(trace)
+    return [
+        simulate(trace, config, collect_mask=collect_mask, decoded=decoded)
+        for config in configs
+    ]

@@ -1,0 +1,174 @@
+"""Persistent on-disk cache of :class:`PredictionStats` results.
+
+Re-running ``repro all`` re-simulates hundreds of ``(benchmark, config)``
+cells whose inputs have not changed.  This cache makes the second run
+near-free: each cell's stats are stored as one small compressed npz file
+keyed by :func:`repro.runner.keys.cell_key` (trace fingerprint + engine
+config + simulator-code hash), so any change that could alter a result
+misses, and everything else hits.  Cycle counts from the timing model are
+stored alongside as tiny json files keyed by
+:func:`repro.runner.keys.timing_key` (cell key + machine config +
+pipeline-code hash), so a warm re-run skips ``run_timing`` too.
+
+Control knobs:
+
+* ``REPRO_RESULT_CACHE=0`` (or ``off`` / ``no`` / ``false``) disables the
+  cache entirely — equivalent to the CLI's ``--no-result-cache``;
+* ``REPRO_RESULT_CACHE=/some/dir`` relocates it (default
+  ``~/.cache/repro-results``);
+* deleting the directory clears it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.guest.isa import BranchKind
+from repro.predictors import PredictionStats
+
+_FORMAT_VERSION = 1
+
+#: values of ``REPRO_RESULT_CACHE`` that turn the cache off
+_OFF_VALUES = {"0", "off", "no", "false", ""}
+
+
+def result_cache_enabled() -> bool:
+    """Whether the environment allows persistent result caching."""
+    return os.environ.get("REPRO_RESULT_CACHE", "on").lower() not in _OFF_VALUES
+
+
+def default_result_cache_dir() -> Path:
+    override = os.environ.get("REPRO_RESULT_CACHE", "")
+    if override and override.lower() not in _OFF_VALUES and override != "on":
+        return Path(override)
+    return Path.home() / ".cache" / "repro-results"
+
+
+class ResultCache:
+    """npz-file-per-cell store; writes are atomic, corrupt entries self-heal."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_result_cache_dir()
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """The cache the environment asks for, or ``None`` if disabled."""
+        return cls() if result_cache_enabled() else None
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable for
+        # multi-thousand-cell sweeps.
+        return self.directory / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str, need_mask: bool = False) -> Optional[PredictionStats]:
+        """Return the cached stats for ``key``, or ``None`` on a miss.
+
+        ``need_mask=True`` additionally requires the entry to carry the
+        per-instruction mispredict mask; maskless entries count as misses
+        (and are overwritten by the maskful recompute).
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                if int(archive["version"]) != _FORMAT_VERSION:
+                    raise ValueError("format version mismatch")
+                has_mask = bool(archive["has_mask"])
+                if need_mask and not has_mask:
+                    return None
+                stats = PredictionStats(
+                    instructions=int(archive["instructions"]),
+                    btb_lookups=int(archive["btb_lookups"]),
+                    btb_hits=int(archive["btb_hits"]),
+                )
+                for value, executed, mispredicted in zip(
+                    archive["kind_values"].tolist(),
+                    archive["executed"].tolist(),
+                    archive["mispredicted"].tolist(),
+                ):
+                    counter = stats.counters(BranchKind(value))
+                    counter.executed = executed
+                    counter.mispredicted = mispredicted
+                if has_mask:
+                    n = int(archive["mask_length"])
+                    stats.mispredict_mask = np.unpackbits(
+                        archive["mask_packed"], count=n
+                    ).astype(bool)
+                return stats
+        except (ValueError, OSError, KeyError):
+            path.unlink(missing_ok=True)  # corrupt or stale entry
+            return None
+
+    def store(self, key: str, stats: PredictionStats) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        kinds = sorted(stats.per_kind, key=lambda kind: kind.value)
+        mask = stats.mispredict_mask
+        payload = dict(
+            version=np.int64(_FORMAT_VERSION),
+            instructions=np.int64(stats.instructions),
+            btb_lookups=np.int64(stats.btb_lookups),
+            btb_hits=np.int64(stats.btb_hits),
+            kind_values=np.array([k.value for k in kinds], dtype=np.int64),
+            executed=np.array(
+                [stats.per_kind[k].executed for k in kinds], dtype=np.int64
+            ),
+            mispredicted=np.array(
+                [stats.per_kind[k].mispredicted for k in kinds], dtype=np.int64
+            ),
+            has_mask=np.bool_(mask is not None),
+        )
+        if mask is not None:
+            payload["mask_packed"] = np.packbits(mask)
+            payload["mask_length"] = np.int64(len(mask))
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------
+    def _cycles_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.cycles.json"
+
+    def load_cycles(self, key: str) -> Optional[int]:
+        """Cached cycle count under a :func:`~repro.runner.keys.timing_key`."""
+        path = self._cycles_path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload["version"] != _FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            return int(payload["cycles"])
+        except (ValueError, OSError, KeyError, TypeError):
+            path.unlink(missing_ok=True)  # corrupt or stale entry
+            return None
+
+    def store_cycles(self, key: str, cycles: int) -> None:
+        path = self._cycles_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"version": _FORMAT_VERSION, "cycles": int(cycles)})
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise

@@ -1,0 +1,146 @@
+"""Stable cache keys for sweep cells.
+
+A persistent result cache is only trustworthy if its keys cover *every*
+input that can change a simulation's outcome:
+
+* the full :class:`~repro.predictors.engine.EngineConfig` (which embeds the
+  :class:`~repro.predictors.engine.HistoryConfig`, the direction-predictor
+  and target-cache configs, and the BTB/RAS geometry);
+* the trace identity — workload name, length, seed, and a hash of the
+  generator sources (:func:`repro.workloads.trace_fingerprint`);
+* the simulator code itself — a hash of every source file under
+  ``repro.predictors`` plus the ISA and trace-schema modules, so editing a
+  predictor invalidates stale results automatically, while unrelated
+  changes (experiment tables, docs, environment variables) keep hitting.
+
+Keys are hex SHA-256 digests of a canonical JSON rendering; nothing about
+them depends on hash randomisation, dict order, or pickle details.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.predictors import EngineConfig
+from repro.workloads import trace_fingerprint
+
+
+def config_token(value: Any) -> Any:
+    """Render a config object as a canonical JSON-serialisable structure.
+
+    Dataclasses become ``[qualified name, {field: token, ...}]`` so two
+    different config classes with identical field values never collide;
+    enums become ``[qualified name, value]``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: config_token(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__name__, fields]
+    if isinstance(value, Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [config_token(item) for item in value]
+    if isinstance(value, dict):
+        # Enum keys render as "ClassName.MEMBER" — str() of an IntEnum
+        # changed between Python 3.10 and 3.12, and keys must not.
+        def render(key: Any) -> str:
+            if isinstance(key, Enum):
+                return f"{type(key).__name__}.{key.name}"
+            return str(key)
+
+        return {
+            render(k): config_token(v)
+            for k, v in sorted(value.items(), key=lambda item: render(item[0]))
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot tokenise {type(value).__name__} for a cache key")
+
+
+#: Modules whose sources determine simulation results (beyond the configs).
+_ENGINE_CODE_MODULES = (
+    "repro.predictors",   # package: every .py underneath is hashed
+    "repro.guest.isa",
+    "repro.trace.trace",
+)
+
+#: Modules whose sources determine timing (cycle-count) results.
+_TIMING_CODE_MODULES = (
+    "repro.pipeline",     # package: every .py underneath is hashed
+)
+
+
+def _source_fingerprint(module_names: tuple) -> str:
+    digest = hashlib.sha256()
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        if hasattr(module, "__path__"):
+            paths = sorted(Path(module.__path__[0]).rglob("*.py"))
+        else:
+            paths = [Path(module.__file__)]
+        for path in paths:
+            digest.update(str(path.name).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+@lru_cache(maxsize=1)
+def engine_code_fingerprint() -> str:
+    """Short hash of the simulator sources behind every prediction run."""
+    return _source_fingerprint(_ENGINE_CODE_MODULES)
+
+
+@lru_cache(maxsize=1)
+def timing_code_fingerprint() -> str:
+    """Short hash of the pipeline-model sources behind every timing run."""
+    return _source_fingerprint(_TIMING_CODE_MODULES)
+
+
+def cell_key(benchmark: str, config: EngineConfig, trace_length: int,
+             seed: int) -> str:
+    """Result-cache key for one ``(benchmark, config)`` sweep cell.
+
+    Deliberately independent of ``collect_mask``: a cached result that
+    carries the mispredict mask satisfies both mask and no-mask requests,
+    so the cache stores at most one entry per cell (see
+    :meth:`repro.runner.cache.ResultCache.load`).
+    """
+    payload = json.dumps(
+        {
+            "trace": trace_fingerprint(benchmark, trace_length, seed),
+            "engine_code": engine_code_fingerprint(),
+            "config": config_token(config),
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def timing_key(benchmark: str, config: EngineConfig, trace_length: int,
+               seed: int, machine: Any) -> str:
+    """Result-cache key for one cell's *cycle count* on a machine.
+
+    Builds on :func:`cell_key` (which already covers the trace and the
+    predictor side) and adds the :class:`~repro.pipeline.MachineConfig`
+    plus a hash of the pipeline-model sources, so editing the timing model
+    or changing any machine parameter invalidates cached cycle counts
+    without touching the prediction entries.
+    """
+    payload = json.dumps(
+        {
+            "cell": cell_key(benchmark, config, trace_length, seed),
+            "timing_code": timing_code_fingerprint(),
+            "machine": config_token(machine),
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,236 @@
+"""Process-pool sweep executor.
+
+:func:`run_cells` fans ``(benchmark, EngineConfig)`` cells out across
+worker processes.  The design goals, in order:
+
+1. **Bit-identical results** regardless of ``jobs``: every cell simulates a
+   fresh engine over the identical trace, results are reassembled by cell
+   index, and nothing about scheduling leaks into the outputs.
+2. **Ship each trace once per worker**, not once per cell: workers receive
+   only ``(benchmark, config)`` descriptors (small frozen dataclasses) and
+   load traces themselves from the on-disk trace cache, memoising both the
+   trace and its decoded branch rows for every subsequent cell.
+3. **Near-free warm re-runs**: cells whose
+   :func:`~repro.runner.keys.cell_key` is already in the persistent
+   :class:`~repro.runner.cache.ResultCache` never reach a worker.
+
+The serial path (``jobs=1``) runs in-process through
+:func:`~repro.predictors.engine.simulate_many`'s decoded-row reuse, so even
+single-core sweeps benefit from the batch API.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.predictors import EngineConfig, PredictionStats, decode_branches, simulate
+from repro.runner.cache import ResultCache
+from repro.runner.keys import cell_key
+from repro.trace.trace import Trace
+from repro.workloads import get_trace
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One sweep cell: simulate ``benchmark`` under ``config``.
+
+    ``collect_mask`` asks for the per-instruction mispredict mask (needed
+    by the timing model; costs one bool per instruction).
+    """
+
+    benchmark: str
+    config: EngineConfig
+    collect_mask: bool = False
+
+
+def default_jobs() -> int:
+    """Worker-process count when the caller does not specify one.
+
+    ``REPRO_JOBS`` overrides; the default is 1 (serial) so library users
+    and tests never fork unless asked to.
+    """
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            warnings.warn(f"ignoring non-integer REPRO_JOBS={value!r}")
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Worker side.  State lives in module globals set by the pool initializer;
+# each worker loads/decodes a benchmark's trace at most once.
+# ----------------------------------------------------------------------
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
+                 trace_cache_dir: Optional[str]) -> None:
+    global _WORKER_STATE
+    if trace_cache_dir is not None:
+        # Propagate the parent's cache location even under a spawn start
+        # method, where mutated parent environment is not inherited.
+        os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir
+    _WORKER_STATE = {
+        "trace_length": trace_length,
+        "seed": seed,
+        "use_trace_cache": use_trace_cache,
+        "decoded": {},
+        "traces": {},
+    }
+
+
+def _worker_decoded(benchmark: str):
+    state = _WORKER_STATE
+    decoded = state["decoded"].get(benchmark)
+    if decoded is None:
+        trace = get_trace(
+            benchmark, n_instructions=state["trace_length"],
+            seed=state["seed"], use_cache=state["use_trace_cache"],
+        )
+        state["traces"][benchmark] = trace
+        decoded = decode_branches(trace)
+        state["decoded"][benchmark] = decoded
+    return decoded
+
+
+def _run_chunk(benchmark: str,
+               items: List[Tuple[int, EngineConfig, bool]]
+               ) -> List[Tuple[int, PredictionStats]]:
+    decoded = _worker_decoded(benchmark)
+    trace = _WORKER_STATE["traces"][benchmark]
+    return [
+        (index, simulate(trace, config, collect_mask=collect_mask,
+                         decoded=decoded))
+        for index, config, collect_mask in items
+    ]
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+def _split_chunks(items: List, pieces: int) -> List[List]:
+    pieces = max(1, min(pieces, len(items)))
+    base, extra = divmod(len(items), pieces)
+    chunks, start = [], 0
+    for i in range(pieces):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
+              trace_length: int = 400_000, seed: int = 1997,
+              use_trace_cache: bool = True,
+              result_cache: Optional[ResultCache] = None,
+              trace_provider: Optional[Callable[[str], Trace]] = None
+              ) -> List[PredictionStats]:
+    """Simulate every cell, returning stats in the order given.
+
+    ``result_cache`` (usually :meth:`ResultCache.from_env`) short-circuits
+    cells simulated before; ``trace_provider`` lets a caller with traces
+    already in memory (e.g. ``ExperimentContext.trace``) supply them
+    instead of hitting the disk cache.  Duplicate cells are simulated once.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    results: List[Optional[PredictionStats]] = [None] * len(cells)
+
+    # Deduplicate and consult the persistent cache.  A cell needs the mask
+    # if *any* duplicate asked for it.
+    unique: Dict[Tuple[str, EngineConfig], List[int]] = {}
+    for index, cell in enumerate(cells):
+        unique.setdefault((cell.benchmark, cell.config), []).append(index)
+    pending: List[Tuple[str, EngineConfig, bool]] = []
+    keys: Dict[Tuple[str, EngineConfig], str] = {}
+    for (benchmark, config), indices in unique.items():
+        need_mask = any(cells[i].collect_mask for i in indices)
+        if result_cache is not None:
+            key = cell_key(benchmark, config, trace_length, seed)
+            keys[(benchmark, config)] = key
+            hit = result_cache.load(key, need_mask=need_mask)
+            if hit is not None:
+                for i in indices:
+                    results[i] = hit
+                continue
+        pending.append((benchmark, config, need_mask))
+
+    if pending:
+        computed = _compute(pending, jobs, trace_length, seed,
+                            use_trace_cache, trace_provider)
+        for (benchmark, config, _), stats in zip(pending, computed):
+            if result_cache is not None:
+                key = keys.get((benchmark, config)) or cell_key(
+                    benchmark, config, trace_length, seed
+                )
+                result_cache.store(key, stats)
+            for i in unique[(benchmark, config)]:
+                results[i] = stats
+    return results  # type: ignore[return-value]
+
+
+def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
+             trace_length: int, seed: int, use_trace_cache: bool,
+             trace_provider: Optional[Callable[[str], Trace]]
+             ) -> List[PredictionStats]:
+    """Simulate ``pending`` cells, in order, serially or via the pool."""
+
+    def load_trace(benchmark: str) -> Trace:
+        if trace_provider is not None:
+            return trace_provider(benchmark)
+        return get_trace(benchmark, n_instructions=trace_length, seed=seed,
+                         use_cache=use_trace_cache)
+
+    by_benchmark: Dict[str, List[Tuple[int, EngineConfig, bool]]] = {}
+    for position, (benchmark, config, need_mask) in enumerate(pending):
+        by_benchmark.setdefault(benchmark, []).append(
+            (position, config, need_mask)
+        )
+
+    out: List[Optional[PredictionStats]] = [None] * len(pending)
+    if jobs <= 1 or len(pending) == 1:
+        for benchmark, items in by_benchmark.items():
+            trace = load_trace(benchmark)
+            decoded = decode_branches(trace)
+            for position, config, need_mask in items:
+                out[position] = simulate(trace, config,
+                                         collect_mask=need_mask,
+                                         decoded=decoded)
+        return out  # type: ignore[return-value]
+
+    # Parallel path: make sure each trace exists on disk exactly once
+    # before forking, so workers load rather than regenerate it.
+    if use_trace_cache:
+        for benchmark in by_benchmark:
+            load_trace(benchmark)
+    chunks = [
+        (benchmark, chunk)
+        for benchmark, items in by_benchmark.items()
+        for chunk in _split_chunks(items, jobs)
+    ]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)),
+            initializer=_init_worker,
+            initargs=(trace_length, seed, use_trace_cache,
+                      os.environ.get("REPRO_TRACE_CACHE")),
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk, benchmark, chunk)
+                for benchmark, chunk in chunks
+            ]
+            for future in as_completed(futures):
+                for position, stats in future.result():
+                    out[position] = stats
+    except (OSError, PermissionError) as exc:  # e.g. sandboxed /dev/shm
+        warnings.warn(
+            f"process pool unavailable ({exc}); running sweep serially"
+        )
+        return _compute(pending, 1, trace_length, seed, use_trace_cache,
+                        trace_provider)
+    return out  # type: ignore[return-value]

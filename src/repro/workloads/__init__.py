@@ -37,6 +37,7 @@ from repro.workloads.registry import (
     WorkloadSpec,
     build_program,
     get_trace,
+    trace_fingerprint,
     workload_names,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "WorkloadSpec",
     "build_program",
     "get_trace",
+    "trace_fingerprint",
     "workload_names",
 ]

@@ -212,9 +212,25 @@ def get_trace(name: str, n_instructions: int = 400_000, seed: int = 1997,
 
     if not use_cache:
         return generate()
+    return cached_trace(trace_fingerprint(name, n_instructions, seed), generate)
+
+
+def trace_fingerprint(name: str, n_instructions: int = 400_000,
+                      seed: int = 1997) -> str:
+    """Stable, filesystem-safe identity of :func:`get_trace`'s result.
+
+    Covers everything that determines the trace content: workload name,
+    length, generator seed, and a hash of the generator sources (workload
+    module, shared emitters, VM, builder).  Used as the trace-cache key and
+    as the trace component of the sweep runner's result-cache keys.
+    """
+    if name not in _ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names(include_oo=True))}"
+        )
     fingerprint = _code_fingerprint(_ALL_WORKLOADS[name].module)
-    key = f"{name}_n{n_instructions}_s{seed}_{fingerprint}"
-    return cached_trace(key, generate)
+    return f"{name}_n{n_instructions}_s{seed}_{fingerprint}"
 
 
 @lru_cache(maxsize=None)

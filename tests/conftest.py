@@ -8,9 +8,10 @@ from repro.workloads import get_trace
 
 
 @pytest.fixture(autouse=True)
-def _hermetic_trace_cache(tmp_path, monkeypatch):
-    """Keep trace caching away from the user's real cache directory."""
+def _hermetic_caches(tmp_path, monkeypatch):
+    """Keep trace/result caching away from the user's real cache dirs."""
     monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "result-cache"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,237 @@
+"""The persistent result cache: key stability, invalidation, round-trips.
+
+The cache is only safe if every input that can change a simulation result
+changes the key — and nothing else does.  These tests pin both directions.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.guest.isa import BranchKind
+from repro.predictors import (
+    DirectionConfig,
+    EngineConfig,
+    HistoryConfig,
+    HistorySource,
+    TargetCacheConfig,
+    simulate,
+)
+from repro.predictors.btb import UpdateStrategy
+from repro.pipeline import MachineConfig
+from repro.runner import (
+    ResultCache,
+    SweepCell,
+    cell_key,
+    config_token,
+    result_cache_enabled,
+    run_cells,
+    timing_key,
+)
+
+LENGTH = 20_000
+SEED = 1997
+
+
+def key(config=EngineConfig(), benchmark="perl", length=LENGTH, seed=SEED):
+    return cell_key(benchmark, config, length, seed)
+
+
+class TestKeyInvalidation:
+    def test_trace_length_change_misses(self):
+        assert key(length=LENGTH) != key(length=LENGTH + 1)
+
+    def test_seed_change_misses(self):
+        assert key(seed=SEED) != key(seed=SEED + 1)
+
+    def test_benchmark_change_misses(self):
+        assert key(benchmark="perl") != key(benchmark="gcc")
+
+    @pytest.mark.parametrize("change", [
+        dict(btb_sets=128),
+        dict(btb_ways=2),
+        dict(btb_strategy=UpdateStrategy.TWO_BIT),
+        dict(ras_depth=16),
+        dict(direction=DirectionConfig(scheme="gag")),
+        dict(target_cache=TargetCacheConfig(kind="tagless")),
+        dict(history=HistoryConfig(source=HistorySource.PATH_GLOBAL)),
+        dict(target_cache_handles_returns=True),
+    ])
+    def test_every_engine_config_field_is_in_the_key(self, change):
+        changed = dataclasses.replace(EngineConfig(), **change)
+        assert key(config=changed) != key(config=EngineConfig())
+
+    def test_nested_history_field_is_in_the_key(self):
+        a = EngineConfig(history=HistoryConfig(bits=9))
+        b = EngineConfig(history=HistoryConfig(bits=10))
+        assert key(config=a) != key(config=b)
+
+    def test_unrelated_environment_change_still_hits(self, monkeypatch):
+        before = key()
+        monkeypatch.setenv("SOME_UNRELATED_VARIABLE", "changed")
+        monkeypatch.setenv("REPRO_BENCH_TRACE_LENGTH", "123")
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert key() == before
+
+    def test_key_is_deterministic_across_calls(self):
+        assert key() == key()
+
+    def test_config_token_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            config_token(object())
+
+
+class TestResultCacheStore:
+    def test_round_trip_with_mask(self, tmp_path):
+        from repro.workloads import get_trace
+
+        trace = get_trace("perl", n_instructions=LENGTH)
+        stats = simulate(trace, EngineConfig(), collect_mask=True)
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, stats)
+        loaded = cache.load("a" * 64, need_mask=True)
+        assert loaded is not None
+        assert loaded.instructions == stats.instructions
+        assert loaded.btb_lookups == stats.btb_lookups
+        assert loaded.btb_hits == stats.btb_hits
+        for kind in BranchKind:
+            assert (loaded.counters(kind).executed
+                    == stats.counters(kind).executed)
+            assert (loaded.counters(kind).mispredicted
+                    == stats.counters(kind).mispredicted)
+        assert np.array_equal(loaded.mispredict_mask, stats.mispredict_mask)
+
+    def test_maskless_entry_misses_when_mask_required(self, tmp_path):
+        from repro.workloads import get_trace
+
+        trace = get_trace("perl", n_instructions=LENGTH)
+        stats = simulate(trace, EngineConfig())
+        cache = ResultCache(tmp_path)
+        cache.store("b" * 64, stats)
+        assert cache.load("b" * 64, need_mask=True) is None
+        assert cache.load("b" * 64, need_mask=False) is not None
+
+    def test_corrupt_entry_self_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache._path("c" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not an npz archive")
+        assert cache.load("c" * 64) is None
+        assert not path.exists()
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        assert ResultCache(tmp_path).load("d" * 64) is None
+
+
+class TestCacheBehaviourInRunCells:
+    def test_second_run_never_simulates(self, tmp_path, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        cache = ResultCache(tmp_path)
+        cells = [
+            SweepCell("perl", EngineConfig(), collect_mask=True),
+            SweepCell("perl",
+                      EngineConfig(target_cache=TargetCacheConfig(kind="tagless"))),
+        ]
+        first = run_cells(cells, jobs=1, trace_length=LENGTH,
+                          result_cache=cache)
+
+        calls = []
+        real_simulate = pool_mod.simulate
+
+        def counting_simulate(*args, **kwargs):
+            calls.append(1)
+            return real_simulate(*args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "simulate", counting_simulate)
+        second = run_cells(cells, jobs=1, trace_length=LENGTH,
+                           result_cache=cache)
+        assert not calls, "warm cache must not re-simulate any cell"
+        for one, two in zip(first, second):
+            assert one.branch_mispredictions == two.branch_mispredictions
+            if one.mispredict_mask is not None:
+                assert np.array_equal(one.mispredict_mask, two.mispredict_mask)
+
+    def test_changed_trace_length_re_simulates(self, tmp_path, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        cache = ResultCache(tmp_path)
+        cells = [SweepCell("perl", EngineConfig())]
+        run_cells(cells, jobs=1, trace_length=LENGTH, result_cache=cache)
+
+        calls = []
+        real_simulate = pool_mod.simulate
+
+        def counting_simulate(*args, **kwargs):
+            calls.append(1)
+            return real_simulate(*args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "simulate", counting_simulate)
+        run_cells(cells, jobs=1, trace_length=LENGTH // 2, result_cache=cache)
+        assert calls, "different trace length must miss the cache"
+
+    def test_env_switch_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        assert not result_cache_enabled()
+        assert ResultCache.from_env() is None
+
+    def test_env_default_enables_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert result_cache_enabled()
+        assert ResultCache.from_env() is not None
+
+
+class TestCyclesCache:
+    def test_timing_key_covers_the_machine(self):
+        base = timing_key("perl", EngineConfig(), LENGTH, SEED, MachineConfig())
+        assert base == timing_key("perl", EngineConfig(), LENGTH, SEED,
+                                  MachineConfig())
+        assert base != timing_key("perl", EngineConfig(), LENGTH, SEED,
+                                  MachineConfig(fetch_width=8))
+        assert base != timing_key("perl", EngineConfig(), LENGTH, SEED,
+                                  MachineConfig(memory_latency=20))
+
+    def test_timing_key_covers_the_cell(self):
+        machine = MachineConfig()
+        base = timing_key("perl", EngineConfig(), LENGTH, SEED, machine)
+        assert base != timing_key("gcc", EngineConfig(), LENGTH, SEED, machine)
+        assert base != timing_key("perl", EngineConfig(btb_sets=128), LENGTH,
+                                  SEED, machine)
+        assert base != timing_key("perl", EngineConfig(), LENGTH + 1, SEED,
+                                  machine)
+
+    def test_cycles_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store_cycles("e" * 64, 12345)
+        assert cache.load_cycles("e" * 64) == 12345
+        assert cache.load_cycles("f" * 64) is None
+
+    def test_corrupt_cycles_entry_self_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache._cycles_path("9" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all")
+        assert cache.load_cycles("9" * 64) is None
+        assert not path.exists()
+
+    def test_warm_context_skips_run_timing(self, tmp_path, monkeypatch):
+        import repro.experiments.common as common_mod
+        from repro.experiments.common import ExperimentContext
+
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        cold = ExperimentContext(trace_length=LENGTH)
+        reference = cold.cycles("perl", EngineConfig())
+
+        calls = []
+        real_run_timing = common_mod.run_timing
+
+        def counting_run_timing(*args, **kwargs):
+            calls.append(1)
+            return real_run_timing(*args, **kwargs)
+
+        monkeypatch.setattr(common_mod, "run_timing", counting_run_timing)
+        warm = ExperimentContext(trace_length=LENGTH)
+        assert warm.cycles("perl", EngineConfig()) == reference
+        assert warm.baseline_cycles("perl") == reference
+        assert not calls, "warm result cache must not re-run the timing model"

@@ -1,0 +1,173 @@
+"""The parallel sweep runner: bit-for-bit equivalence and memoisation.
+
+The acceptance bar for :mod:`repro.runner` is that parallelism and caching
+are *invisible* in the numbers: ``run_cells(jobs=4)``, ``run_cells(jobs=1)``
+and a warm-result-cache re-run must produce identical
+:class:`PredictionStats` counters and mispredict masks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.guest.isa import BranchKind
+from repro.predictors import (
+    EngineConfig,
+    HistoryConfig,
+    HistorySource,
+    TargetCacheConfig,
+    simulate,
+    simulate_many,
+)
+from repro.runner import ResultCache, SweepCell, run_cells
+
+TRACE_LENGTH = 20_000
+
+#: A representative slice of the design space: BTB-only baseline, tagless
+#: pattern-history, tagged path-history, and a cascaded cache.
+CONFIGS = [
+    EngineConfig(),
+    EngineConfig(target_cache=TargetCacheConfig(kind="tagless")),
+    EngineConfig(
+        target_cache=TargetCacheConfig(kind="tagged", entries=64, assoc=4),
+        history=HistoryConfig(source=HistorySource.PATH_GLOBAL, bits=9),
+    ),
+    EngineConfig(target_cache=TargetCacheConfig(kind="cascaded", entries=64,
+                                                assoc=4)),
+]
+
+
+def _cells():
+    return [
+        SweepCell(benchmark, config, collect_mask=True)
+        for benchmark in ("perl", "gcc")
+        for config in CONFIGS
+    ]
+
+
+def assert_identical(a, b):
+    assert a.instructions == b.instructions
+    assert a.btb_lookups == b.btb_lookups
+    assert a.btb_hits == b.btb_hits
+    for kind in BranchKind:
+        assert a.counters(kind).executed == b.counters(kind).executed
+        assert a.counters(kind).mispredicted == b.counters(kind).mispredicted
+    if a.mispredict_mask is None:
+        assert b.mispredict_mask is None
+    else:
+        assert np.array_equal(a.mispredict_mask, b.mispredict_mask)
+
+
+class TestRunCellsEquivalence:
+    def test_parallel_serial_and_cached_runs_are_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        serial = run_cells(_cells(), jobs=1, trace_length=TRACE_LENGTH)
+        parallel = run_cells(_cells(), jobs=4, trace_length=TRACE_LENGTH,
+                             result_cache=cache)
+        cached = run_cells(_cells(), jobs=4, trace_length=TRACE_LENGTH,
+                           result_cache=cache)
+        for one, two, three in zip(serial, parallel, cached):
+            assert_identical(one, two)
+            assert_identical(one, three)
+        # the runs found real work: indirect jumps exist and the target
+        # cache beats the BTB baseline on perl
+        assert serial[0].indirect_jumps > 100
+        assert serial[1].indirect_mispred_rate < serial[0].indirect_mispred_rate
+
+    def test_matches_direct_simulate(self):
+        from repro.workloads import get_trace
+
+        trace = get_trace("perl", n_instructions=TRACE_LENGTH)
+        config = CONFIGS[1]
+        direct = simulate(trace, config, collect_mask=True)
+        [via_runner] = run_cells(
+            [SweepCell("perl", config, collect_mask=True)],
+            jobs=1, trace_length=TRACE_LENGTH,
+        )
+        assert_identical(direct, via_runner)
+
+    def test_duplicate_cells_simulated_once_and_shared(self):
+        cell = SweepCell("perl", EngineConfig())
+        first, second = run_cells([cell, cell], jobs=1,
+                                  trace_length=TRACE_LENGTH)
+        assert first is second
+
+    def test_results_keep_cell_order(self):
+        cells = _cells()
+        results = run_cells(cells, jobs=4, trace_length=TRACE_LENGTH)
+        # perl and gcc have different instruction mixes; ordering mistakes
+        # would pair a perl cell with gcc counters
+        perl_branches = results[0].branches
+        gcc_branches = results[len(CONFIGS)].branches
+        assert perl_branches != gcc_branches
+        for i, cell in enumerate(cells):
+            expected = perl_branches if cell.benchmark == "perl" else gcc_branches
+            assert results[i].branches == expected
+
+
+class TestSimulateMany:
+    def test_bit_identical_to_independent_calls(self):
+        from repro.workloads import get_trace
+
+        trace = get_trace("gcc", n_instructions=TRACE_LENGTH)
+        batched = simulate_many(trace, CONFIGS, collect_mask=True)
+        for config, stats in zip(CONFIGS, batched):
+            assert_identical(stats, simulate(trace, config, collect_mask=True))
+
+
+class TestExperimentContextMemo:
+    def test_prediction_memoised_per_config(self):
+        ctx = ExperimentContext(trace_length=TRACE_LENGTH)
+        first = ctx.prediction("perl", EngineConfig())
+        second = ctx.prediction("perl", EngineConfig())
+        assert first is second
+
+    def test_baseline_equal_cells_share_the_baseline_run(self):
+        ctx = ExperimentContext(trace_length=TRACE_LENGTH)
+        baseline = ctx.baseline("perl")
+        # a table sweeping EngineConfig() cells must reuse the baseline
+        assert ctx.prediction("perl", EngineConfig()) is baseline
+
+    def test_mask_request_upgrades_maskless_memo_entry(self):
+        ctx = ExperimentContext(trace_length=TRACE_LENGTH)
+        config = CONFIGS[1]
+        no_mask = ctx.prediction("perl", config)
+        assert no_mask.mispredict_mask is None
+        with_mask = ctx.prediction("perl", config, collect_mask=True)
+        assert with_mask.mispredict_mask is not None
+        # counters must agree between the two runs
+        for kind in BranchKind:
+            assert (no_mask.counters(kind).executed
+                    == with_mask.counters(kind).executed)
+            assert (no_mask.counters(kind).mispredicted
+                    == with_mask.counters(kind).mispredicted)
+        # and the memo now serves the maskful stats for both request kinds
+        assert ctx.prediction("perl", config) is with_mask
+
+    def test_batch_predictions_fill_the_memo(self):
+        ctx = ExperimentContext(trace_length=TRACE_LENGTH, jobs=2)
+        cells = [("perl", config) for config in CONFIGS]
+        batch = ctx.predictions(cells)
+        for cell, stats in zip(cells, batch):
+            assert ctx.prediction(*cell) is stats
+
+
+class TestPoolFallback:
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", broken_pool)
+        with pytest.warns(UserWarning, match="running sweep serially"):
+            results = run_cells(
+                [SweepCell("perl", config) for config in CONFIGS[:2]],
+                jobs=4, trace_length=TRACE_LENGTH,
+            )
+        reference = run_cells(
+            [SweepCell("perl", config) for config in CONFIGS[:2]],
+            jobs=1, trace_length=TRACE_LENGTH,
+        )
+        for got, want in zip(results, reference):
+            assert_identical(got, want)
