@@ -1,0 +1,85 @@
+"""Domain-specific static analysis for the repro codebase.
+
+``repro lint`` runs every checker in :data:`CHECKERS` over the installed
+``repro`` package and reports findings not silenced by a
+``# repro-lint: ignore[rule-id]`` comment on the offending line.  See
+``docs/ANALYSIS.md`` for the rule catalogue and how to add a pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import (
+    SUPPRESS_ALL,
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+)
+from repro.analysis.bitwidth import BitWidthChecker
+from repro.analysis.cache_keys import CacheKeyChecker
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.hotloop import HotLoopChecker
+from repro.analysis.report import LintReport, describe_checkers
+
+__all__ = [
+    "SUPPRESS_ALL",
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "BitWidthChecker",
+    "CacheKeyChecker",
+    "DeterminismChecker",
+    "HotLoopChecker",
+    "LintReport",
+    "CHECKERS",
+    "describe_checkers",
+    "run_lint",
+]
+
+#: The registry: adding a pass means listing an instance here.
+CHECKERS: List[Checker] = [
+    DeterminismChecker(),
+    CacheKeyChecker(),
+    BitWidthChecker(),
+    HotLoopChecker(),
+]
+
+
+def run_lint(
+    project: Optional[Project] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+    only: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run checkers over ``project`` and apply line suppressions.
+
+    ``only`` restricts the run to the named checkers (``repro lint
+    --only determinism``).  Suppression comments are honoured here, so
+    individual checkers never deal with them.
+    """
+    if project is None:
+        project = Project.load()
+    active: Sequence[Checker] = checkers if checkers is not None else CHECKERS
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - {checker.name for checker in active}
+        if unknown:
+            raise ValueError(
+                f"unknown checker(s): {', '.join(sorted(unknown))}"
+            )
+        active = [checker for checker in active if checker.name in wanted]
+
+    report = LintReport(checkers=[checker.name for checker in active])
+    for checker in active:
+        for finding in checker.run(project):
+            source = project.file(finding.path)
+            if source is not None and source.suppressed(
+                finding.line, finding.rule
+            ):
+                report.suppressed += 1
+                continue
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

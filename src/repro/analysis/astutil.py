@@ -1,0 +1,96 @@
+"""Small AST helpers shared by the analysis passes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> dotted origin for every import in the module.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``import os``                     -> ``{"os": "os"}``
+    ``from os import environ``        -> ``{"environ": "os.environ"}``
+    ``from numpy import random as r`` -> ``{"r": "numpy.random"}``
+
+    Function-local imports are included too (the map is flat; this is a
+    lint, not a scope-perfect resolver).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                origin = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted origin name, or ``None``.
+
+    ``np.random.rand`` with ``{"np": "numpy"}`` -> ``"numpy.random.rand"``.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = aliases.get(current.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def attribute_chain(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains rooted at a plain name."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name) or not parts:
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def functions_with_qualnames(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualname, node)`` for every function, including methods."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.FunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                if isinstance(child, ast.FunctionDef):
+                    yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def loop_bodies(node: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Yield the body (plus else) of every for/while loop under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+            yield list(child.body) + list(child.orelse)
+
+
+def is_constant_one(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 1

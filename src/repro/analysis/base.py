@@ -1,0 +1,160 @@
+"""Core data model of the static-analysis subsystem.
+
+A *checker* inspects the project (parsed source files plus, for some
+checkers, the live package) and emits :class:`Finding` objects.  Findings
+are suppressed line-by-line with ``# repro-lint: ignore[rule-id]``
+comments (or ``# repro-lint: ignore`` to silence every rule on a line);
+suppression is applied centrally by :func:`repro.analysis.run_lint`, so
+checkers never need to know about it.
+
+Checkers are registered in :data:`repro.analysis.CHECKERS`; adding a pass
+means writing a class with ``name``/``description``/``run`` and listing it
+there (see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Protocol, Union
+
+#: Sentinel rule name meaning "every rule" in a suppression set.
+SUPPRESS_ALL = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule names suppressed on that line.
+
+    Uses the tokenizer (not a regex over raw lines) so that ``#`` inside
+    string literals never counts as a comment.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                names = frozenset({SUPPRESS_ALL})
+            else:
+                names = frozenset(
+                    part.strip() for part in rules.split(",") if part.strip()
+                )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | names
+    except tokenize.TokenError:
+        pass  # syntactically broken file; the AST parse will report it
+    return suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression comments."""
+
+    relpath: str
+    text: str
+    tree: ast.Module
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, relpath: str, text: str) -> "SourceFile":
+        return cls(
+            relpath=relpath,
+            text=text,
+            tree=ast.parse(text, filename=relpath),
+            suppressions=_parse_suppressions(text),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path, relpath: str) -> "SourceFile":
+        return cls.from_text(relpath, path.read_text(encoding="utf-8"))
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return SUPPRESS_ALL in rules or rule in rules
+
+
+class Project:
+    """The analyzed source tree: every ``.py`` file under one package root.
+
+    ``relpath`` values use posix separators relative to the package root
+    (e.g. ``predictors/engine.py``), which is also how findings are
+    reported.
+    """
+
+    def __init__(self, root: Path, files: List[SourceFile]) -> None:
+        self.root = root
+        self.files = files
+        self._by_relpath = {f.relpath: f for f in files}
+
+    @classmethod
+    def load(cls, root: Optional[Union[str, Path]] = None) -> "Project":
+        """Load the installed ``repro`` package (or an explicit root)."""
+        if root is None:
+            import repro
+
+            root = Path(repro.__file__).parent
+        root = Path(root)
+        files = [
+            SourceFile.from_path(path, path.relative_to(root).as_posix())
+            for path in sorted(root.rglob("*.py"))
+        ]
+        return cls(root, files)
+
+    def file(self, relpath: str) -> Optional[SourceFile]:
+        return self._by_relpath.get(relpath)
+
+    def files_under(self, *prefixes: str) -> List[SourceFile]:
+        """Files whose relpath starts with any of the given prefixes."""
+        return [
+            f
+            for f in self.files
+            if any(f.relpath.startswith(prefix) for prefix in prefixes)
+        ]
+
+
+class Checker(Protocol):
+    """Interface every analysis pass implements."""
+
+    name: str
+    description: str
+
+    def run(self, project: Project) -> List[Finding]:
+        """Return every finding in the project (suppression is applied
+        by the caller, not the checker)."""
+        ...  # pragma: no cover - protocol body

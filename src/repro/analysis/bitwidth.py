@@ -1,0 +1,450 @@
+"""Bit-width/mask lint: declared widths must match the masks applied.
+
+The paper's tables live or die on exact indexing semantics: a history
+register that claims ``bits`` bits but masks with a different width, or a
+table subscript that can exceed the declared table size, silently changes
+every misprediction rate (the same class of hazard that hardware
+reverse-engineering work has to pin down bit-by-bit).  This pass encodes
+the conventions the predictor code uses:
+
+``bitwidth-mask-form``
+    An attribute whose name ends in ``mask`` assigned something other than
+    a recognised all-ones pattern: ``(1 << W) - 1``, ``S - 1`` where ``S``
+    is provably a power of two in the same function (assigned ``1 << W``,
+    guarded by an ``S & (S - 1)`` power-of-two check, or an exact divisor
+    of a guarded value), or a conditional between those and ``None``.
+``bitwidth-mask-mismatch``
+    A mask whose width source disagrees with the width the name promises —
+    ``self._mask = (1 << bits_per_target) - 1`` on a register whose width
+    field is ``bits``, or a constant-width mask in a function that takes
+    the width as a parameter (the "widened the register, forgot the mask"
+    bug).
+``bitwidth-unmasked-index``
+    A subscript into a sized table (an attribute built as ``[x] * n`` or a
+    list comprehension) whose index is not visibly bounded: masked with a
+    ``*mask*`` value, reduced ``% n``, a ``range()`` loop variable, or the
+    result of a trusted index helper (``index`` / ``_locate`` /
+    ``_lookup`` — whose own returns this pass also verifies).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import attribute_chain, is_constant_one
+from repro.analysis.base import Finding, Project, SourceFile
+
+#: Package-relative directories the bit-width rules apply to.
+SCOPE = ("predictors/",)
+
+#: Methods whose results are trusted as bounded table indices; their own
+#: return expressions are verified by :func:`_check_trusted_returns`.
+TRUSTED_INDEX_METHODS = frozenset({"index", "_locate", "_lookup"})
+
+#: Width-attribute names each mask name is expected to derive from.
+#: Mask names not listed here get the form check only.
+EXPECTED_WIDTHS: Dict[str, Tuple[str, ...]] = {
+    "mask": ("bits", "history_bits", "table_size", "size"),
+    "target_mask": ("bits_per_target",),
+    "hist_mask": ("history_bits",),
+    "addr_mask": ("address_bits",),
+    "history_mask": ("history_bits", "bits"),
+    "tag_mask": ("tag_bits",),
+    "index_mask": ("table_bits", "index_bits"),
+    "set_mask": ("sets", "n_sets", "set_bits"),
+    "local_mask": ("history_bits",),
+}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """``self.a.b`` -> ``b``; ``x`` -> ``x``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_mask_name(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and "mask" in name.lower()
+
+
+def _env_key(node: ast.AST) -> Optional[str]:
+    """Key for the per-function assignment environment (``x``, ``self.x``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    chain = attribute_chain(node)
+    return chain
+
+
+class _FunctionEnv:
+    """Assignments, guards, and bounded names within one function."""
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.assignments: Dict[str, ast.expr] = {}
+        self.po2_guarded: Set[str] = set()
+        self.bounded: Set[str] = set()
+        self.range_names: Set[str] = set()
+        self._scan(func)
+
+    def _scan(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                self._record(node.targets[0], node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._record(node.target, node.value)
+            elif isinstance(node, ast.If) and _contains_raise(node):
+                self.po2_guarded.update(_po2_guard_names(node.test))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._record_loop(node)
+
+    def _record(self, target: ast.expr, value: ast.expr) -> None:
+        key = _env_key(target)
+        if key is not None:
+            self.assignments[key] = value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                    and value.func.id == "range":
+                self.range_names.add(key)
+        elif isinstance(target, ast.Tuple) and isinstance(value, ast.Call):
+            callee = _terminal_name(value.func)
+            if callee in TRUSTED_INDEX_METHODS:
+                for element in target.elts:
+                    element_key = _env_key(element)
+                    if element_key is not None:
+                        self.bounded.add(element_key)
+
+    def _record_loop(self, node: ast.For) -> None:
+        iterator = node.iter
+        bounded_targets: List[ast.expr] = []
+        if isinstance(iterator, ast.Call) and isinstance(iterator.func, ast.Name):
+            func_name = iterator.func.id
+            if func_name == "range":
+                bounded_targets = _flatten_targets(node.target)
+            elif func_name in ("reversed", "enumerate") and iterator.args:
+                inner = iterator.args[0]
+                inner_is_range = (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "range"
+                ) or (_env_key(inner) in self.range_names)
+                if func_name == "reversed" and inner_is_range:
+                    bounded_targets = _flatten_targets(node.target)
+                elif func_name == "enumerate":
+                    targets = _flatten_targets(node.target)
+                    bounded_targets = targets[:1]
+        elif _env_key(iterator) in self.range_names:
+            bounded_targets = _flatten_targets(node.target)
+        for target in bounded_targets:
+            key = _env_key(target)
+            if key is not None:
+                self.bounded.add(key)
+
+
+def _flatten_targets(target: ast.expr) -> List[ast.expr]:
+    if isinstance(target, ast.Tuple):
+        return list(target.elts)
+    return [target]
+
+
+def _contains_raise(node: ast.If) -> bool:
+    return any(isinstance(stmt, ast.Raise) for stmt in node.body)
+
+
+def _po2_guard_names(test: ast.expr) -> Set[str]:
+    """Names N validated by an ``N & (N - 1)`` power-of-two guard."""
+    names: Set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitAnd):
+            left_key = _env_key(node.left)
+            if left_key is None:
+                continue
+            right = node.right
+            if (
+                isinstance(right, ast.BinOp)
+                and isinstance(right.op, ast.Sub)
+                and _env_key(right.left) == left_key
+                and is_constant_one(right.right)
+            ):
+                names.add(left_key)
+    return names
+
+
+class BitWidthChecker:
+    """Verify mask/width agreement and bounded table indexing."""
+
+    name = "bitwidth"
+    description = (
+        "declared bit widths must match applied masks, and sized-table "
+        "subscripts must be provably in range (predictors/)"
+    )
+
+    def __init__(self, scope: Sequence[str] = SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for source in project.files_under(*self.scope):
+            findings.extend(self.check_file(source))
+        return findings
+
+    # ------------------------------------------------------------------
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source: SourceFile,
+                     cls: ast.ClassDef) -> List[Finding]:
+        findings: List[Finding] = []
+        tables = _sized_tables(cls)
+        for item in ast.walk(cls):
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            env = _FunctionEnv(item)
+            findings.extend(self._check_masks(source, item, env))
+            findings.extend(self._check_subscripts(source, item, env, tables))
+            if item.name in TRUSTED_INDEX_METHODS:
+                findings.extend(
+                    self._check_trusted_returns(source, item, env, tables)
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Mask form and width consistency
+    # ------------------------------------------------------------------
+    def _check_masks(self, source: SourceFile, func: ast.FunctionDef,
+                     env: _FunctionEnv) -> List[Finding]:
+        findings: List[Finding] = []
+        params = {arg.arg for arg in func.args.args}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            mask_name = _terminal_name(target)
+            if mask_name is None or not mask_name.lower().endswith("mask"):
+                continue
+            ok, width = _mask_expr_ok(value, env)
+            if not ok:
+                findings.append(
+                    Finding(
+                        "bitwidth-mask-form", source.relpath, node.lineno,
+                        f"'{mask_name}' is not a recognised all-ones mask "
+                        "pattern ((1 << width) - 1, or size - 1 for a "
+                        "power-of-two size)",
+                    )
+                )
+                continue
+            findings.extend(
+                self._check_width_name(source, node, mask_name, width, params)
+            )
+        return findings
+
+    def _check_width_name(self, source: SourceFile, node: ast.stmt,
+                          mask_name: str, width: Optional[ast.expr],
+                          params: Set[str]) -> List[Finding]:
+        key = mask_name.lstrip("_").lower()
+        expected = EXPECTED_WIDTHS.get(key)
+        if width is None:
+            return []  # power-of-two provenance: no width name to compare
+        if isinstance(width, ast.Constant):
+            if expected is not None and any(p in expected for p in params):
+                culprit = ", ".join(sorted(p for p in params if p in expected))
+                return [
+                    Finding(
+                        "bitwidth-mask-mismatch", source.relpath, node.lineno,
+                        f"'{mask_name}' hardcodes a constant width although "
+                        f"this function takes '{culprit}'; widening the "
+                        "register would not widen the mask",
+                    )
+                ]
+            return []
+        width_name = _terminal_name(width)
+        if width_name is None or expected is None:
+            return []
+        if width_name not in expected:
+            return [
+                Finding(
+                    "bitwidth-mask-mismatch", source.relpath, node.lineno,
+                    f"'{mask_name}' is derived from '{width_name}' but its "
+                    f"name promises one of {sorted(expected)}; the declared "
+                    "width and the applied mask disagree",
+                )
+            ]
+        return []
+
+    # ------------------------------------------------------------------
+    # Sized-table subscripts
+    # ------------------------------------------------------------------
+    def _check_subscripts(self, source: SourceFile, func: ast.FunctionDef,
+                          env: _FunctionEnv,
+                          tables: Set[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Subscript):
+                continue
+            chain = attribute_chain(node.value)
+            if chain is None or not chain.startswith("self."):
+                continue
+            if chain.split(".", 1)[1] not in tables:
+                continue
+            if isinstance(node.slice, ast.Slice):
+                continue
+            if not _bounded_expr(node.slice, env):
+                findings.append(
+                    Finding(
+                        "bitwidth-unmasked-index", source.relpath, node.lineno,
+                        f"index into sized table '{chain}' is not visibly "
+                        "bounded (no mask, modulo, range variable, or "
+                        "trusted index helper)",
+                    )
+                )
+        return findings
+
+    def _check_trusted_returns(self, source: SourceFile,
+                               func: ast.FunctionDef, env: _FunctionEnv,
+                               tables: Set[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            head = value.elts[0] if (
+                isinstance(value, ast.Tuple) and value.elts
+            ) else value
+            if _bounded_expr(head, env):
+                continue
+            if isinstance(head, ast.Subscript) and _bounded_expr(
+                head.slice, env
+            ):
+                continue  # returning a bucket fetched with a bounded index
+            findings.append(
+                Finding(
+                    "bitwidth-unmasked-index", source.relpath, node.lineno,
+                    f"trusted index helper '{func.name}' returns a value "
+                    "that is not visibly bounded",
+                )
+            )
+        return findings
+
+
+def _sized_tables(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names assigned fixed-size list storage anywhere in ``cls``."""
+    tables: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        chain = attribute_chain(target)
+        if chain is None or not chain.startswith("self."):
+            continue
+        is_repeat = (
+            isinstance(value, ast.BinOp)
+            and isinstance(value.op, ast.Mult)
+            and (isinstance(value.left, ast.List)
+                 or isinstance(value.right, ast.List))
+        )
+        if is_repeat or isinstance(value, ast.ListComp):
+            tables.add(chain.split(".", 1)[1])
+    return tables
+
+
+def _mask_expr_ok(expr: ast.expr, env: _FunctionEnv
+                  ) -> Tuple[bool, Optional[ast.expr]]:
+    """Whether ``expr`` is an all-ones mask; returns its width expression.
+
+    A ``None`` width with ``ok=True`` means the mask is ``size - 1`` for a
+    size whose power-of-two-ness is established without naming a width.
+    """
+    if isinstance(expr, ast.IfExp):
+        branches = [expr.body, expr.orelse]
+        width: Optional[ast.expr] = None
+        for branch in branches:
+            if isinstance(branch, ast.Constant) and branch.value is None:
+                continue
+            ok, branch_width = _mask_expr_ok(branch, env)
+            if not ok:
+                return False, None
+            width = width or branch_width
+        return True, width
+    if not (isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Sub)
+            and is_constant_one(expr.right)):
+        return False, None
+    left = expr.left
+    if (
+        isinstance(left, ast.BinOp)
+        and isinstance(left.op, ast.LShift)
+        and is_constant_one(left.left)
+    ):
+        return True, left.right
+    size_key = _env_key(left)
+    if size_key is None:
+        return False, None
+    return _po2_size(size_key, env)
+
+
+def _po2_size(size_key: str, env: _FunctionEnv,
+              depth: int = 0) -> Tuple[bool, Optional[ast.expr]]:
+    """Whether ``size_key`` names a provable power of two in this function."""
+    if size_key in env.po2_guarded:
+        return True, None
+    value = env.assignments.get(size_key)
+    if value is None or depth > 4:
+        return False, None
+    if (
+        isinstance(value, ast.BinOp)
+        and isinstance(value.op, ast.LShift)
+        and is_constant_one(value.left)
+    ):
+        return True, value.right
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.FloorDiv):
+        # An exact divisor of a power of two is a power of two; exactness
+        # is the construction invariant (entries % assoc guards).
+        dividend_key = _env_key(value.left)
+        if dividend_key is not None:
+            ok, _ = _po2_size(dividend_key, env, depth + 1)
+            return ok, None
+    if isinstance(value, ast.Constant) and isinstance(value.value, int):
+        n = value.value
+        return n > 0 and n & (n - 1) == 0, None
+    return False, None
+
+
+def _bounded_expr(expr: ast.expr, env: _FunctionEnv) -> bool:
+    """Whether an index expression is visibly bounded."""
+    if isinstance(expr, ast.Constant):
+        return expr.value is None or isinstance(expr.value, int)
+    if isinstance(expr, ast.Name):
+        if expr.id in env.bounded:
+            return True
+        assigned = env.assignments.get(expr.id)
+        if assigned is not None and not isinstance(assigned, ast.Name):
+            return _bounded_expr(assigned, env)
+        return False
+    if isinstance(expr, ast.BinOp):
+        if isinstance(expr.op, ast.BitAnd):
+            return _is_mask_name(expr.left) or _is_mask_name(expr.right)
+        if isinstance(expr.op, ast.Mod):
+            return True
+        if isinstance(expr.op, (ast.BitOr, ast.BitXor)):
+            return (_bounded_expr(expr.left, env)
+                    and _bounded_expr(expr.right, env))
+        if isinstance(expr.op, ast.LShift):
+            return _bounded_expr(expr.left, env)
+        return False
+    if isinstance(expr, ast.Call):
+        callee = _terminal_name(expr.func)
+        return callee in TRUSTED_INDEX_METHODS
+    if isinstance(expr, ast.IfExp):
+        return (_bounded_expr(expr.body, env)
+                and _bounded_expr(expr.orelse, env))
+    return False

@@ -1,0 +1,175 @@
+"""Determinism lint: sources of run-to-run nondeterminism in the kernel.
+
+PR 1's parallel sweep runner is only sound because a cell's result is a
+pure function of (trace, config, code): the persistent result cache replays
+stored outputs, and the process pool reassembles results by cell index.
+Anything that sneaks wall-clock time, unseeded randomness, environment
+state, or hash-randomised iteration order into the simulation kernel breaks
+that contract *silently* — cached and fresh runs diverge with no error.
+
+Rules (checked inside ``predictors/``, ``pipeline/``, and ``runner/``):
+
+``det-unseeded-random``
+    Module-level ``random.*`` / ``numpy.random.*`` calls.  Seeded generator
+    construction (``random.Random(seed)``, ``np.random.default_rng(seed)``)
+    is allowed; the global-state functions are not.
+``det-wall-clock``
+    ``time.time()``-family and ``datetime.now()``-family calls.
+``det-env-read``
+    ``os.environ`` / ``os.getenv`` access.  Results must not depend on the
+    environment; knobs that only relocate caches or size worker pools are
+    suppressed explicitly at the call site.
+``det-set-iteration``
+    Iterating a set/frozenset literal or constructor directly: iteration
+    order depends on hash randomisation for str-keyed sets.  Sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.astutil import import_aliases, resolve_dotted
+from repro.analysis.base import Finding, Project, SourceFile
+
+#: Package-relative directories the determinism rules apply to.
+SCOPE = ("predictors/", "pipeline/", "runner/")
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.clock",
+    }
+)
+_DATE_LIKE = ("datetime.now", "datetime.utcnow", "datetime.today", "date.today")
+
+#: ``random.<name>`` attributes that are deterministic to *construct*.
+_SEEDED_RANDOM_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random.<name>`` factories acceptable when given an explicit seed.
+_SEEDED_NUMPY_FACTORIES = frozenset({"default_rng", "RandomState", "Generator"})
+
+
+class DeterminismChecker:
+    """Flag nondeterminism hazards in the simulation/runner code."""
+
+    name = "determinism"
+    description = (
+        "unseeded RNG, wall-clock, os.environ, and set-iteration hazards in "
+        "predictors/, pipeline/, and runner/"
+    )
+
+    def __init__(self, scope: Sequence[str] = SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for source in project.files_under(*self.scope):
+            findings.extend(self.check_file(source))
+        return findings
+
+    # ------------------------------------------------------------------
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        aliases = import_aliases(source.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(source, node, aliases))
+            elif isinstance(node, ast.Attribute):
+                findings.extend(self._check_environ(source, node, aliases))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(self._check_set_iter(source, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    findings.extend(self._check_set_iter(source, generator.iter))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_call(self, source: SourceFile, node: ast.Call,
+                    aliases: Dict[str, str]) -> List[Finding]:
+        dotted = resolve_dotted(node.func, aliases)
+        if dotted is None:
+            return []
+        if dotted.startswith("random."):
+            tail = dotted.split(".", 1)[1]
+            if tail.split(".")[0] not in _SEEDED_RANDOM_FACTORIES:
+                return [
+                    Finding(
+                        "det-unseeded-random", source.relpath, node.lineno,
+                        f"call to '{dotted}' uses the global (unseeded) RNG; "
+                        "construct a seeded random.Random instead",
+                    )
+                ]
+            return []
+        if dotted.startswith("numpy.random."):
+            tail = dotted.rsplit(".", 1)[1]
+            if tail in _SEEDED_NUMPY_FACTORIES and (node.args or node.keywords):
+                return []
+            message = (
+                f"call to '{dotted}' draws from numpy's global RNG; "
+                "use np.random.default_rng(seed)"
+                if tail not in _SEEDED_NUMPY_FACTORIES
+                else f"'{dotted}' constructed without an explicit seed"
+            )
+            return [
+                Finding("det-unseeded-random", source.relpath, node.lineno,
+                        message)
+            ]
+        if dotted in _WALL_CLOCK or dotted.endswith(_DATE_LIKE):
+            return [
+                Finding(
+                    "det-wall-clock", source.relpath, node.lineno,
+                    f"call to '{dotted}' reads the wall clock; results must "
+                    "not depend on time",
+                )
+            ]
+        if dotted == "os.getenv":
+            return [
+                Finding(
+                    "det-env-read", source.relpath, node.lineno,
+                    "os.getenv() makes behaviour depend on the environment",
+                )
+            ]
+        return []
+
+    def _check_environ(self, source: SourceFile, node: ast.Attribute,
+                       aliases: Dict[str, str]) -> List[Finding]:
+        if node.attr != "environ":
+            return []
+        dotted = resolve_dotted(node, aliases)
+        if dotted != "os.environ":
+            return []
+        return [
+            Finding(
+                "det-env-read", source.relpath, node.lineno,
+                "os.environ access makes behaviour depend on the environment",
+            )
+        ]
+
+    def _check_set_iter(self, source: SourceFile,
+                        iter_node: ast.AST) -> List[Finding]:
+        reason: Optional[str] = None
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            reason = "a set literal"
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        ):
+            reason = f"a {iter_node.func.id}() value"
+        if reason is None:
+            return []
+        return [
+            Finding(
+                "det-set-iteration", source.relpath, iter_node.lineno,
+                f"iterating {reason} directly: set order varies under hash "
+                "randomisation; wrap in sorted(...)",
+            )
+        ]

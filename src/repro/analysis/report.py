@@ -1,0 +1,57 @@
+"""Rendering of lint results for the ``repro lint`` CLI."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.base import Checker, Finding
+
+
+@dataclass
+class LintReport:
+    """Findings from one lint run, plus which checkers produced them."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checkers: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s)"
+            if self.findings
+            else "no findings"
+        )
+        if self.suppressed:
+            summary += f" ({self.suppressed} suppressed)"
+        summary += f" from {len(self.checkers)} checker(s)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload: Dict[str, object] = {
+            "findings": [finding.to_json() for finding in self.findings],
+            "checkers": list(self.checkers),
+            "suppressed": self.suppressed,
+            "clean": self.clean,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render(self, fmt: str) -> str:
+        if fmt == "json":
+            return self.to_json()
+        if fmt == "text":
+            return self.to_text()
+        raise ValueError(f"unknown lint format: {fmt!r}")
+
+
+def describe_checkers(checkers: Sequence[Checker]) -> str:
+    """One line per registered checker, for ``repro lint --list``."""
+    width = max((len(c.name) for c in checkers), default=0)
+    return "\n".join(f"{c.name:<{width}}  {c.description}" for c in checkers)

@@ -7,6 +7,7 @@ Subcommands::
     repro all [options]             # run every experiment
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
+    repro lint [--format json|text]   # run the domain lint passes
 
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
 ``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
@@ -38,8 +39,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(Chang, Hao & Patt, ISCA 1997)",
     )
     parser.add_argument("command",
-                        help="experiment name, 'all', 'list', 'trace', or "
-                             "'dump'")
+                        help="experiment name, 'all', 'list', 'trace', "
+                             "'dump', or 'lint'")
     parser.add_argument("workload", nargs="?",
                         help="workload name (for 'trace' and 'dump')")
     parser.add_argument("--head", type=int, default=80,
@@ -54,6 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_JOBS, else 1)")
     parser.add_argument("--no-result-cache", action="store_true",
                         help="bypass the persistent prediction-result cache")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="lint output format (lint command)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="CHECKER",
+                        help="run only the named lint checker (repeatable)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list registered lint checkers and exit")
     return parser
 
 
@@ -113,10 +121,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import CHECKERS, describe_checkers, run_lint
+
+    if args.list_checks:
+        print(describe_checkers(CHECKERS))
+        return 0
+    try:
+        report = run_lint(only=args.only)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(args.format))
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "dump":

@@ -26,9 +26,9 @@ module             reproduces
 """
 
 from repro.experiments.common import (
+    EXPERIMENT_MODULES,
     ExperimentContext,
     ExperimentTable,
-    EXPERIMENT_MODULES,
     run_experiment,
 )
 

@@ -17,15 +17,16 @@ from repro.experiments.common import (
     ExperimentTable,
 )
 from repro.experiments.configs import (
-    pattern_history,
     path_scheme_history,
+    pattern_history,
     tagless_engine,
 )
+from repro.predictors import EngineConfig
 
 HISTORY_BITS = [6, 7, 8, 9, 10, 11, 12]   # 64 .. 4096 entries
 
 
-def _config(benchmark: str, bits: int):
+def _config(benchmark: str, bits: int) -> EngineConfig:
     if benchmark == "perl":
         history = path_scheme_history("ind jmp", bits=bits)
     else:

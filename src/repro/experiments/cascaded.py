@@ -15,7 +15,7 @@ from repro.experiments.common import (
     ExperimentContext,
     ExperimentTable,
 )
-from repro.experiments.configs import pattern_history, path_scheme_history
+from repro.experiments.configs import path_scheme_history, pattern_history
 from repro.predictors import EngineConfig
 from repro.predictors.target_cache import TargetCacheConfig
 

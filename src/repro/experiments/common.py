@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import importlib
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.pipeline import MachineConfig, memory_penalties, run_timing
 from repro.predictors import EngineConfig, PredictionStats
@@ -135,7 +136,7 @@ class ExperimentContext:
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self._result_cache = ResultCache.from_env() if use_result_cache else None
         self._traces: Dict[str, Trace] = {}
-        self._penalties: Dict[str, np.ndarray] = {}
+        self._penalties: Dict[str, "npt.NDArray[Any]"] = {}
         self._predictions: Dict[Tuple[str, EngineConfig], PredictionStats] = {}
         self._cycles: Dict[Tuple[str, EngineConfig], int] = {}
 
@@ -148,7 +149,7 @@ class ExperimentContext:
             )
         return self._traces[benchmark]
 
-    def penalty(self, benchmark: str) -> np.ndarray:
+    def penalty(self, benchmark: str) -> "npt.NDArray[Any]":
         if benchmark not in self._penalties:
             self._penalties[benchmark] = memory_penalties(
                 self.trace(benchmark), self.machine

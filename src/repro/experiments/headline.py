@@ -15,13 +15,13 @@ best-overall design point).
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentContext, ExperimentTable
-from repro.predictors import EngineConfig
 from repro.experiments.configs import (
-    pattern_history,
     path_scheme_history,
+    pattern_history,
     tagged_engine,
     tagless_engine,
 )
+from repro.predictors import EngineConfig
 
 BEST_TAGLESS = {
     "perl": tagless_engine(history=path_scheme_history("ind jmp")),

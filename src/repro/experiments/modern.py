@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentContext, ExperimentTable
 from repro.experiments.configs import (
-    pattern_history,
     path_scheme_history,
+    pattern_history,
     tagless_engine,
 )
 from repro.predictors import EngineConfig, HistoryConfig, HistorySource

@@ -10,12 +10,15 @@ history bits are worth more than address bits).
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from repro.experiments.common import (
     FOCUS_BENCHMARKS,
     ExperimentContext,
     ExperimentTable,
 )
 from repro.experiments.configs import pattern_history, tagless_engine
+from repro.predictors import EngineConfig
 
 SCHEMES = [
     ("GAg(9)", dict(scheme="gag", history_bits=9, address_bits=0)),
@@ -25,7 +28,7 @@ SCHEMES = [
 ]
 
 
-def _config(kwargs: dict):
+def _config(kwargs: Dict[str, Any]) -> EngineConfig:
     history = pattern_history(max(kwargs["history_bits"], 9))
     return tagless_engine(history=history, **kwargs)
 

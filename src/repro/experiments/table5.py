@@ -27,7 +27,7 @@ from repro.predictors import EngineConfig
 ADDRESS_BITS = list(range(2, 8))
 
 
-def _config(scheme: str, address_bit: int):
+def _config(scheme: str, address_bit: int) -> EngineConfig:
     history = path_scheme_history(
         scheme, bits=9, bits_per_target=1, address_bit=address_bit
     )

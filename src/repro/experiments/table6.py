@@ -26,7 +26,7 @@ from repro.predictors import EngineConfig
 BITS_PER_TARGET = [1, 2, 3]
 
 
-def _config(scheme: str, bits_per_target: int):
+def _config(scheme: str, bits_per_target: int) -> EngineConfig:
     history = path_scheme_history(
         scheme, bits=9, bits_per_target=bits_per_target, address_bit=2
     )

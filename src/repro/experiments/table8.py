@@ -25,7 +25,7 @@ from repro.predictors import EngineConfig
 ASSOCIATIVITIES = [1, 2, 4, 8, 16]
 
 
-def _config(scheme: str, assoc: int):
+def _config(scheme: str, assoc: int) -> EngineConfig:
     history = path_scheme_history(scheme, bits=9, bits_per_target=1)
     return tagged_engine(assoc=assoc, history=history)
 

@@ -23,7 +23,7 @@ ASSOCIATIVITIES = [1, 2, 4, 8, 16, 32]
 HISTORY_BITS = [9, 16]
 
 
-def _config(assoc: int, bits: int):
+def _config(assoc: int, bits: int) -> EngineConfig:
     return tagged_engine(
         assoc=assoc, history_bits=bits, history=pattern_history(bits)
     )

@@ -17,8 +17,8 @@ Public API:
 * :class:`~repro.guest.vm.VM` — execute a program, producing a trace.
 """
 
-from repro.guest.isa import BranchKind, GuestProgram, InstrClass, Instruction, Op
 from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import BranchKind, GuestProgram, InstrClass, Instruction, Op
 from repro.guest.vm import VM, VMError, run_program
 
 __all__ = [

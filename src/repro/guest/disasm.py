@@ -7,7 +7,7 @@ syntax.  Used by ``repro dump`` and invaluable when debugging workloads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.guest.isa import (
     INSTRUCTION_BYTES,
@@ -15,6 +15,9 @@ from repro.guest.isa import (
     Instruction,
     Op,
 )
+
+if TYPE_CHECKING:  # circular at runtime: repro.trace imports repro.guest
+    from repro.trace.trace import Trace
 
 _THREE_REG = {Op.ADD: "add", Op.SUB: "sub", Op.AND: "and", Op.OR: "or",
               Op.XOR: "xor", Op.SLT: "slt", Op.MUL: "mul", Op.DIV: "div",
@@ -84,7 +87,7 @@ def disassemble_program(program: GuestProgram,
     return "\n".join(lines)
 
 
-def format_trace_window(trace, start: int = 0, count: int = 32,
+def format_trace_window(trace: "Trace", start: int = 0, count: int = 32,
                         labels: Optional[Dict[int, str]] = None) -> str:
     """Render a window of dynamic trace rows with branch annotations."""
     lines: List[str] = []

@@ -13,13 +13,13 @@ misprediction rate carries sampling error.  This package quantifies it:
   by EXPERIMENTS.md (ordering/crossover agreement, not absolute equality).
 """
 
+from repro.metrics.compare import orderings_agree, shape_match
 from repro.metrics.stats import (
     ConfidenceInterval,
     bootstrap_ci,
     rate_confidence,
     segment_rates,
 )
-from repro.metrics.compare import orderings_agree, shape_match
 
 __all__ = [
     "ConfidenceInterval",

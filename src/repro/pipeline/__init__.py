@@ -20,11 +20,11 @@ fetch until the branch resolves (wrong-path instructions are not executed,
 the standard trace-driven approximation).
 """
 
-from repro.pipeline.config import LATENCIES, DataCacheConfig, MachineConfig
 from repro.pipeline.caches import DataCache, memory_penalties
-from repro.pipeline.timing import TimingResult, execution_cycles, run_timing
+from repro.pipeline.config import LATENCIES, DataCacheConfig, MachineConfig
 from repro.pipeline.core import CycleCore, run_cycle_core
 from repro.pipeline.integrated import IntegratedCore, IntegratedResult, run_integrated
+from repro.pipeline.timing import TimingResult, execution_cycles, run_timing
 
 __all__ = [
     "LATENCIES",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import InstrClass
 from repro.pipeline.config import DataCacheConfig, MachineConfig
@@ -56,7 +57,7 @@ class DataCache:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-def memory_penalties(trace: Trace, machine: MachineConfig) -> np.ndarray:
+def memory_penalties(trace: Trace, machine: MachineConfig) -> "npt.NDArray[np.float64]":
     """Per-instruction extra latency (cycles) from data-cache misses.
 
     Returns an int32 array aligned to the trace: zero for non-memory

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import InstrClass
 from repro.pipeline.caches import memory_penalties
@@ -54,8 +55,8 @@ class CycleCore:
     """Cycle-stepped trace-driven core."""
 
     def __init__(self, trace: Trace, machine: MachineConfig,
-                 mispredict_mask: Optional[np.ndarray] = None,
-                 mem_penalty: Optional[np.ndarray] = None) -> None:
+                 mispredict_mask: Optional["npt.NDArray[Any]"] = None,
+                 mem_penalty: Optional["npt.NDArray[Any]"] = None) -> None:
         self.trace = trace
         self.machine = machine
         n = len(trace)
@@ -77,7 +78,7 @@ class CycleCore:
         """Execute to completion; returns total cycles."""
         machine = self.machine
         n = len(self.trace)
-        window: deque = deque()
+        window: Deque[int] = deque()
         last_writer: Dict[int, _Slot] = {}
         last_store: Dict[int, _Slot] = {}
         load_class = int(InstrClass.LOAD)
@@ -161,7 +162,7 @@ class CycleCore:
 
 
 def run_cycle_core(trace: Trace, machine: MachineConfig,
-                   mispredict_mask: Optional[np.ndarray] = None,
-                   mem_penalty: Optional[np.ndarray] = None) -> int:
+                   mispredict_mask: Optional["npt.NDArray[Any]"] = None,
+                   mem_penalty: Optional["npt.NDArray[Any]"] = None) -> int:
     """Run the cycle-stepped core; returns total cycles."""
     return CycleCore(trace, machine, mispredict_mask, mem_penalty).run()

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind, InstrClass
 from repro.pipeline.caches import memory_penalties
@@ -84,7 +85,7 @@ class IntegratedCore:
 
     def __init__(self, trace: Trace, engine_config: EngineConfig,
                  machine: MachineConfig,
-                 mem_penalty: Optional[np.ndarray] = None) -> None:
+                 mem_penalty: Optional["npt.NDArray[Any]"] = None) -> None:
         self.trace = trace
         self.machine = machine
         self.engine = FetchEngine(engine_config)
@@ -215,7 +216,7 @@ class IntegratedCore:
     def run(self) -> IntegratedResult:
         machine = self.machine
         n = len(self.trace)
-        window: deque = deque()
+        window: Deque[int] = deque()
         last_writer: Dict[int, _Slot] = {}
         last_store: Dict[int, _Slot] = {}
         load_class = int(InstrClass.LOAD)
@@ -304,7 +305,7 @@ class IntegratedCore:
 
 def run_integrated(trace: Trace, engine_config: EngineConfig,
                    machine: Optional[MachineConfig] = None,
-                   mem_penalty: Optional[np.ndarray] = None) -> IntegratedResult:
+                   mem_penalty: Optional["npt.NDArray[Any]"] = None) -> IntegratedResult:
     """Run the speculative integrated simulation end to end."""
     return IntegratedCore(
         trace, engine_config, machine or MachineConfig(), mem_penalty

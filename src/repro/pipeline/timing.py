@@ -23,9 +23,10 @@ classes").  ``repro.pipeline.core`` cross-validates it cycle-by-cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import NUM_REGISTERS, InstrClass
 from repro.pipeline.caches import memory_penalties
@@ -70,8 +71,8 @@ class TimingResult:
 
 
 def run_timing(trace: Trace, machine: MachineConfig,
-               mispredict_mask: Optional[np.ndarray] = None,
-               mem_penalty: Optional[np.ndarray] = None) -> TimingResult:
+               mispredict_mask: Optional["npt.NDArray[Any]"] = None,
+               mem_penalty: Optional["npt.NDArray[Any]"] = None) -> TimingResult:
     """Schedule ``trace`` on ``machine``; returns cycle counts.
 
     ``mispredict_mask`` marks instructions whose next-pc the fetch engine
@@ -191,7 +192,7 @@ def run_timing(trace: Trace, machine: MachineConfig,
 
 
 def execution_cycles(trace: Trace, machine: MachineConfig,
-                     mispredict_mask: Optional[np.ndarray] = None,
-                     mem_penalty: Optional[np.ndarray] = None) -> int:
+                     mispredict_mask: Optional["npt.NDArray[Any]"] = None,
+                     mem_penalty: Optional["npt.NDArray[Any]"] = None) -> int:
     """Convenience wrapper returning just the cycle count."""
     return run_timing(trace, machine, mispredict_mask, mem_penalty).cycles

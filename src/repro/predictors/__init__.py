@@ -20,7 +20,7 @@ This package implements every prediction structure the paper simulates:
 """
 
 from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
-from repro.predictors.direction import DirectionPredictor, DirectionConfig
+from repro.predictors.direction import DirectionConfig, DirectionPredictor
 from repro.predictors.engine import (
     DecodedBranches,
     EngineConfig,

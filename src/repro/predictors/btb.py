@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
 
@@ -76,7 +76,7 @@ class BranchTargetBuffer:
         self.lookups = 0
         self.hits = 0
 
-    def _locate(self, pc: int):
+    def _locate(self, pc: int) -> Tuple[Dict[int, BTBEntry], int]:
         word = pc // INSTRUCTION_BYTES
         return self._storage[word & self._set_mask], word >> self._set_bits
 

@@ -35,6 +35,7 @@ from enum import Enum
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
 from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
@@ -140,7 +141,7 @@ class PredictionStats:
     btb_hits: int = 0
     #: per-instruction mask aligned to the full trace: True where this
     #: instruction's next-pc was mispredicted (consumed by the timing model)
-    mispredict_mask: Optional[np.ndarray] = None
+    mispredict_mask: Optional["npt.NDArray[np.bool_]"] = None
 
     def counters(self, kind: BranchKind) -> KindCounters:
         return self.per_kind.setdefault(kind, KindCounters())
@@ -322,8 +323,9 @@ class DecodedBranches:
     __slots__ = ("instructions", "rows", "pcs", "kinds", "takens",
                  "targets", "next_pcs")
 
-    def __init__(self, instructions: int, rows, pcs, kinds, takens,
-                 targets, next_pcs) -> None:
+    def __init__(self, instructions: int, rows: List[int], pcs: List[int],
+                 kinds: List[BranchKind], takens: List[bool],
+                 targets: List[int], next_pcs: List[int]) -> None:
         self.instructions = instructions
         self.rows = rows
         self.pcs = pcs

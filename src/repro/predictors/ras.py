@@ -11,7 +11,7 @@ degrades on deep recursion.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Deque, Optional
 
 
 class ReturnAddressStack:
@@ -21,7 +21,7 @@ class ReturnAddressStack:
         if depth <= 0:
             raise ValueError("depth must be positive")
         self.depth = depth
-        self._stack: deque = deque(maxlen=depth)
+        self._stack: Deque[int] = deque(maxlen=depth)
         self.pushes = 0
         self.pops = 0
         self.underflows = 0

@@ -23,14 +23,14 @@ a declarative way to request any variant in the paper's design space.
 
 from repro.predictors.target_cache.base import TargetPredictor
 from repro.predictors.target_cache.cascaded import CascadedTargetCache
+from repro.predictors.target_cache.config import TargetCacheConfig, build_target_cache
 from repro.predictors.target_cache.ittage import ITTageLite, fold_history
-from repro.predictors.target_cache.tagless import TaglessTargetCache
-from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
 from repro.predictors.target_cache.oracle import (
     LastTargetPredictor,
     OracleTargetPredictor,
 )
-from repro.predictors.target_cache.config import TargetCacheConfig, build_target_cache
+from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
+from repro.predictors.target_cache.tagless import TaglessTargetCache
 
 __all__ = [
     "TargetPredictor",

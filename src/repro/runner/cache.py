@@ -40,11 +40,15 @@ _OFF_VALUES = {"0", "off", "no", "false", ""}
 
 def result_cache_enabled() -> bool:
     """Whether the environment allows persistent result caching."""
-    return os.environ.get("REPRO_RESULT_CACHE", "on").lower() not in _OFF_VALUES
+    # Toggles whether results are cached, never what they are.
+    return os.environ.get(  # repro-lint: ignore[det-env-read]
+        "REPRO_RESULT_CACHE", "on"
+    ).lower() not in _OFF_VALUES
 
 
 def default_result_cache_dir() -> Path:
-    override = os.environ.get("REPRO_RESULT_CACHE", "")
+    # Relocates the cache directory; cell keys make any location safe.
+    override = os.environ.get("REPRO_RESULT_CACHE", "")  # repro-lint: ignore[det-env-read]
     if override and override.lower() not in _OFF_VALUES and override != "on":
         return Path(override)
     return Path.home() / ".cache" / "repro-results"

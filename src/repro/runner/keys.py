@@ -26,28 +26,36 @@ import json
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
-from typing import Any
+from typing import Any, Tuple
 
 from repro.predictors import EngineConfig
 from repro.workloads import trace_fingerprint
 
 
+def _qualified_name(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
 def config_token(value: Any) -> Any:
     """Render a config object as a canonical JSON-serialisable structure.
 
-    Dataclasses become ``[qualified name, {field: token, ...}]`` so two
-    different config classes with identical field values never collide;
-    enums become ``[qualified name, value]``.
+    Dataclasses become ``[module-qualified name, {field: token, ...}]`` so
+    two different config classes with identical field values never collide
+    — not even same-named classes from different modules; enums become
+    ``[module-qualified name, value]``.  Tuples render as
+    ``["tuple", [...]]`` to stay distinct from lists.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = {
             f.name: config_token(getattr(value, f.name))
             for f in dataclasses.fields(value)
         }
-        return [type(value).__name__, fields]
+        return [_qualified_name(type(value)), fields]
     if isinstance(value, Enum):
-        return [type(value).__name__, value.value]
-    if isinstance(value, (list, tuple)):
+        return [_qualified_name(type(value)), value.value]
+    if isinstance(value, tuple):
+        return ["tuple", [config_token(item) for item in value]]
+    if isinstance(value, list):
         return [config_token(item) for item in value]
     if isinstance(value, dict):
         # Enum keys render as "ClassName.MEMBER" — str() of an IntEnum
@@ -79,7 +87,25 @@ _TIMING_CODE_MODULES = (
 )
 
 
-def _source_fingerprint(module_names: tuple) -> str:
+def _fingerprint_label(path: Path) -> str:
+    """Stable per-file label mixed into the source fingerprint.
+
+    The label is the path relative to the installed package root (posix
+    separators), not the bare filename: two files named ``config.py`` in
+    different subpackages must contribute distinct labels, and moving a
+    file between subpackages must change the fingerprint.  Falls back to
+    the filename for sources outside the package (not expected).
+    """
+    import repro
+
+    package_root = Path(repro.__file__).parent.parent
+    try:
+        return path.resolve().relative_to(package_root.resolve()).as_posix()
+    except ValueError:
+        return path.name
+
+
+def _source_fingerprint(module_names: Tuple[str, ...]) -> str:
     digest = hashlib.sha256()
     for module_name in module_names:
         module = importlib.import_module(module_name)
@@ -88,7 +114,7 @@ def _source_fingerprint(module_names: tuple) -> str:
         else:
             paths = [Path(module.__file__)]
         for path in paths:
-            digest.update(str(path.name).encode())
+            digest.update(_fingerprint_label(path).encode())
             digest.update(path.read_bytes())
     return digest.hexdigest()[:12]
 

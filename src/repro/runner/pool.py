@@ -25,9 +25,15 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.predictors import EngineConfig, PredictionStats, decode_branches, simulate
+from repro.predictors import (
+    DecodedBranches,
+    EngineConfig,
+    PredictionStats,
+    decode_branches,
+    simulate,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.keys import cell_key
 from repro.trace.trace import Trace
@@ -53,7 +59,9 @@ def default_jobs() -> int:
     ``REPRO_JOBS`` overrides; the default is 1 (serial) so library users
     and tests never fork unless asked to.
     """
-    value = os.environ.get("REPRO_JOBS", "").strip()
+    # Sizes the worker pool; results are reassembled by cell index and do
+    # not depend on parallelism.
+    value = os.environ.get("REPRO_JOBS", "").strip()  # repro-lint: ignore[det-env-read]
     if value:
         try:
             return max(1, int(value))
@@ -66,7 +74,7 @@ def default_jobs() -> int:
 # Worker side.  State lives in module globals set by the pool initializer;
 # each worker loads/decodes a benchmark's trace at most once.
 # ----------------------------------------------------------------------
-_WORKER_STATE: Optional[dict] = None
+_WORKER_STATE: Optional[Dict[str, Any]] = None
 
 
 def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
@@ -75,7 +83,7 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
     if trace_cache_dir is not None:
         # Propagate the parent's cache location even under a spawn start
         # method, where mutated parent environment is not inherited.
-        os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir
+        os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir  # repro-lint: ignore[det-env-read]
     _WORKER_STATE = {
         "trace_length": trace_length,
         "seed": seed,
@@ -85,8 +93,9 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
     }
 
 
-def _worker_decoded(benchmark: str):
+def _worker_decoded(benchmark: str) -> DecodedBranches:
     state = _WORKER_STATE
+    assert state is not None, "worker used before _init_worker"
     decoded = state["decoded"].get(benchmark)
     if decoded is None:
         trace = get_trace(
@@ -103,6 +112,7 @@ def _run_chunk(benchmark: str,
                items: List[Tuple[int, EngineConfig, bool]]
                ) -> List[Tuple[int, PredictionStats]]:
     decoded = _worker_decoded(benchmark)
+    assert _WORKER_STATE is not None
     trace = _WORKER_STATE["traces"][benchmark]
     return [
         (index, simulate(trace, config, collect_mask=collect_mask,
@@ -114,10 +124,14 @@ def _run_chunk(benchmark: str,
 # ----------------------------------------------------------------------
 # Parent side.
 # ----------------------------------------------------------------------
-def _split_chunks(items: List, pieces: int) -> List[List]:
+_T = TypeVar("_T")
+
+
+def _split_chunks(items: List[_T], pieces: int) -> List[List[_T]]:
     pieces = max(1, min(pieces, len(items)))
     base, extra = divmod(len(items), pieces)
-    chunks, start = [], 0
+    chunks: List[List[_T]] = []
+    start = 0
     for i in range(pieces):
         size = base + (1 if i < extra else 0)
         chunks.append(items[start:start + size])
@@ -217,8 +231,10 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),
             initializer=_init_worker,
+            # Forwarding the trace-cache location to workers relocates
+            # files only; trace fingerprints key the cached contents.
             initargs=(trace_length, seed, use_trace_cache,
-                      os.environ.get("REPRO_TRACE_CACHE")),
+                      os.environ.get("REPRO_TRACE_CACHE")),  # repro-lint: ignore[det-env-read]
         ) as pool:
             futures = [
                 pool.submit(_run_chunk, benchmark, chunk)

@@ -7,7 +7,7 @@ VM, summary statistics matching the paper's Table 1 and Figures 1-8, and npz
 round-tripping so traces can be cached between runs.
 """
 
-from repro.trace.trace import Trace
+from repro.trace.io import load_trace, save_trace
 from repro.trace.stats import (
     BranchMix,
     TargetProfile,
@@ -17,7 +17,7 @@ from repro.trace.stats import (
     target_profile,
     transition_rate,
 )
-from repro.trace.io import load_trace, save_trace
+from repro.trace.trace import Trace
 
 __all__ = [
     "Trace",

@@ -25,9 +25,10 @@ new :class:`Trace`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind, InstrClass
 from repro.guest.vm import RawTrace
@@ -77,8 +78,11 @@ class Trace:
     __slots__ = ("pc", "instr_class", "branch_kind", "taken", "target",
                  "src1", "src2", "dst", "mem_addr")
 
-    def __init__(self, pc, instr_class, branch_kind, taken, target,
-                 src1, src2, dst, mem_addr) -> None:
+    def __init__(self, pc: npt.ArrayLike, instr_class: npt.ArrayLike,
+                 branch_kind: npt.ArrayLike, taken: npt.ArrayLike,
+                 target: npt.ArrayLike, src1: npt.ArrayLike,
+                 src2: npt.ArrayLike, dst: npt.ArrayLike,
+                 mem_addr: npt.ArrayLike) -> None:
         self.pc = np.asarray(pc, dtype=np.uint64)
         self.instr_class = np.asarray(instr_class, dtype=np.uint8)
         self.branch_kind = np.asarray(branch_kind, dtype=np.uint8)
@@ -121,7 +125,9 @@ class Trace:
     def __len__(self) -> int:
         return len(self.pc)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: Union[int, slice, "npt.NDArray[Any]"]
+    ) -> Union["Trace", TraceRecord]:
         if isinstance(index, slice) or isinstance(index, np.ndarray):
             return Trace(*(getattr(self, name)[index] for name, _ in _COLUMNS))
         return self.record(int(index))
@@ -159,15 +165,15 @@ class Trace:
     # Derived masks and views
     # ------------------------------------------------------------------
     @property
-    def is_branch(self) -> np.ndarray:
+    def is_branch(self) -> "npt.NDArray[np.bool_]":
         return self.branch_kind != int(BranchKind.NOT_BRANCH)
 
     @property
-    def is_conditional(self) -> np.ndarray:
+    def is_conditional(self) -> "npt.NDArray[np.bool_]":
         return self.branch_kind == int(BranchKind.COND_DIRECT)
 
     @property
-    def is_indirect_jump(self) -> np.ndarray:
+    def is_indirect_jump(self) -> "npt.NDArray[np.bool_]":
         """Mask of branches the paper's target cache predicts.
 
         Indirect jumps and indirect calls; returns are excluded because the
@@ -178,14 +184,16 @@ class Trace:
         )
 
     @property
-    def is_return(self) -> np.ndarray:
+    def is_return(self) -> "npt.NDArray[np.bool_]":
         return self.branch_kind == int(BranchKind.RETURN)
 
     def branches(self) -> "Trace":
         """View containing only control-flow instructions."""
-        return self[np.flatnonzero(self.is_branch)]
+        view = self[np.flatnonzero(self.is_branch)]
+        assert isinstance(view, Trace)  # ndarray index always yields a view
+        return view
 
-    def next_pc_array(self) -> np.ndarray:
+    def next_pc_array(self) -> "npt.NDArray[np.uint64]":
         """Per-row address of the next executed instruction."""
         fallthrough = self.pc + np.uint64(INSTRUCTION_BYTES)
         redirect = self.is_branch & self.taken

@@ -13,6 +13,7 @@ import hashlib
 import importlib
 from dataclasses import dataclass
 from functools import lru_cache
+from types import ModuleType
 from typing import Any, Dict, List, Optional
 
 from repro.guest.isa import GuestProgram
@@ -37,7 +38,7 @@ class WorkloadSpec:
     #: "few" = dominated by jumps with <= a handful of targets.
     paper_target_shape: str
 
-    def _module(self):
+    def _module(self) -> ModuleType:
         return importlib.import_module(self.module)
 
     def default_params(self, seed: Optional[int] = None) -> Any:

@@ -1,0 +1,241 @@
+"""The bit-width checker: masks, width names, and bounded indexing."""
+
+import textwrap
+
+from repro.analysis.base import SourceFile
+from repro.analysis.bitwidth import BitWidthChecker
+
+
+def _findings(code, relpath="predictors/x.py"):
+    source = SourceFile.from_text(relpath, textwrap.dedent(code))
+    return BitWidthChecker().check_file(source)
+
+
+def _rules(code):
+    return [f.rule for f in _findings(code)]
+
+
+class TestMaskForm:
+    def test_canonical_shift_mask_is_accepted(self):
+        code = """
+        class R:
+            def __init__(self, bits):
+                self._mask = (1 << bits) - 1
+        """
+        assert _rules(code) == []
+
+    def test_wrong_shape_is_flagged(self):
+        code = """
+        class R:
+            def __init__(self, bits):
+                self._mask = (1 << bits)
+        """
+        assert _rules(code) == ["bitwidth-mask-form"]
+
+    def test_size_minus_one_accepted_with_shift_provenance(self):
+        code = """
+        class T:
+            def __init__(self, history_bits):
+                table_size = 1 << history_bits
+                self._mask = table_size - 1
+        """
+        assert _rules(code) == []
+
+    def test_size_minus_one_accepted_with_po2_guard(self):
+        code = """
+        class B:
+            def __init__(self, sets):
+                if sets & (sets - 1):
+                    raise ValueError("not a power of two")
+                self._set_mask = sets - 1
+        """
+        assert _rules(code) == []
+
+    def test_size_minus_one_rejected_without_provenance(self):
+        code = """
+        class B:
+            def __init__(self, sets):
+                self._set_mask = sets - 1
+        """
+        assert _rules(code) == ["bitwidth-mask-form"]
+
+    def test_floordiv_of_guarded_size_is_accepted(self):
+        code = """
+        class C:
+            def __init__(self, entries, assoc):
+                if entries & (entries - 1):
+                    raise ValueError("not a power of two")
+                n_sets = entries // assoc
+                self._set_mask = n_sets - 1
+        """
+        assert _rules(code) == []
+
+    def test_optional_mask_via_ifexp_is_accepted(self):
+        code = """
+        class T:
+            def __init__(self, tag_bits):
+                self._tag_mask = (
+                    None if tag_bits is None else (1 << tag_bits) - 1
+                )
+        """
+        assert _rules(code) == []
+
+
+class TestMaskWidthNames:
+    def test_widened_register_with_forgotten_mask_is_flagged(self):
+        # The seeded-bad fixture from the issue: the register is declared
+        # with a configurable width but the mask hardcodes the old one.
+        code = """
+        class PatternHistoryRegister:
+            def __init__(self, bits):
+                self.bits = bits
+                self._mask = (1 << 12) - 1
+        """
+        rules = _rules(code)
+        assert rules == ["bitwidth-mask-mismatch"]
+
+    def test_mask_built_from_wrong_width_is_flagged(self):
+        code = """
+        class R:
+            def __init__(self, bits, bits_per_target):
+                self._mask = (1 << bits_per_target) - 1
+        """
+        assert _rules(code) == ["bitwidth-mask-mismatch"]
+
+    def test_target_mask_from_bits_per_target_is_accepted(self):
+        code = """
+        class R:
+            def __init__(self, bits, bits_per_target):
+                self._mask = (1 << bits) - 1
+                self._target_mask = (1 << bits_per_target) - 1
+        """
+        assert _rules(code) == []
+
+    def test_constant_mask_without_width_param_is_accepted(self):
+        code = """
+        class LCG:
+            def __init__(self):
+                self._state_mask = (1 << 32) - 1
+        """
+        assert _rules(code) == []
+
+
+class TestSizedTableIndexing:
+    def test_unmasked_index_into_sized_table_is_flagged(self):
+        code = """
+        class T:
+            def __init__(self, n):
+                self._counters = [0] * n
+            def read(self, pc):
+                return self._counters[pc]
+        """
+        assert _rules(code) == ["bitwidth-unmasked-index"]
+
+    def test_masked_index_is_accepted(self):
+        code = """
+        class T:
+            def __init__(self, n):
+                self._counters = [0] * n
+                self._mask = n - 1
+            def read(self, pc):
+                return self._counters[pc & self._mask]
+        """
+        # The mask-form rule still applies to the constructor; filter it.
+        rules = [r for r in _rules(code) if r == "bitwidth-unmasked-index"]
+        assert rules == []
+
+    def test_modulo_index_is_accepted(self):
+        code = """
+        class T:
+            def __init__(self, n):
+                self._slots = [None] * n
+            def read(self, i):
+                return self._slots[i % len(self._slots)]
+        """
+        assert _rules(code) == []
+
+    def test_range_loop_variable_is_accepted(self):
+        code = """
+        class T:
+            def __init__(self, n):
+                self._slots = [0] * n
+            def total(self):
+                acc = 0
+                for i in range(len(self._slots)):
+                    acc += self._slots[i]
+                return acc
+        """
+        assert _rules(code) == []
+
+    def test_trusted_index_call_is_accepted(self):
+        code = """
+        class T:
+            def __init__(self, scheme, n):
+                self.scheme = scheme
+                self._targets = [None] * n
+            def predict(self, pc, history):
+                return self._targets[self.scheme.index(pc, history)]
+        """
+        assert _rules(code) == []
+
+    def test_dict_attribute_is_not_a_sized_table(self):
+        code = """
+        class T:
+            def __init__(self):
+                self._by_pc = {}
+            def read(self, pc):
+                return self._by_pc[pc]
+        """
+        assert _rules(code) == []
+
+    def test_annassign_sized_table_is_collected(self):
+        code = """
+        class T:
+            def __init__(self, n):
+                self._counters: list = [1] * n
+            def read(self, pc):
+                return self._counters[pc]
+        """
+        assert _rules(code) == ["bitwidth-unmasked-index"]
+
+
+class TestTrustedReturns:
+    def test_trusted_helper_returning_masked_value_is_accepted(self):
+        code = """
+        class S:
+            def __init__(self, bits):
+                self._mask = (1 << bits) - 1
+            def index(self, pc, history):
+                return (pc ^ history) & self._mask
+        """
+        assert _rules(code) == []
+
+    def test_trusted_helper_returning_raw_value_is_flagged(self):
+        code = """
+        class S:
+            def index(self, pc, history):
+                return pc ^ history
+        """
+        assert _rules(code) == ["bitwidth-unmasked-index"]
+
+    def test_locate_returning_bucket_of_sized_table_is_accepted(self):
+        code = """
+        class B:
+            def __init__(self, sets):
+                if sets & (sets - 1):
+                    raise ValueError("po2")
+                self._set_mask = sets - 1
+                self._storage = [[] for _ in range(sets)]
+            def _locate(self, pc):
+                return self._storage[pc & self._set_mask], pc >> 4
+        """
+        assert _rules(code) == []
+
+
+class TestShippedPredictors:
+    def test_shipped_predictors_are_clean(self):
+        from repro.analysis.base import Project
+
+        project = Project.load()
+        findings = BitWidthChecker().run(project)
+        assert findings == [], [f.format() for f in findings]

@@ -1,0 +1,121 @@
+"""The determinism checker: each rule on known-bad and known-good code."""
+
+import textwrap
+
+from repro.analysis.base import SourceFile
+from repro.analysis.determinism import DeterminismChecker
+
+
+def _findings(code, relpath="predictors/x.py"):
+    source = SourceFile.from_text(relpath, textwrap.dedent(code))
+    return DeterminismChecker().check_file(source)
+
+
+def _rules(code):
+    return [f.rule for f in _findings(code)]
+
+
+class TestUnseededRandom:
+    def test_global_random_call_is_flagged(self):
+        assert _rules("import random\nrandom.random()\n") == \
+            ["det-unseeded-random"]
+
+    def test_global_randint_is_flagged(self):
+        assert _rules("import random\nrandom.randint(0, 7)\n") == \
+            ["det-unseeded-random"]
+
+    def test_seeded_random_constructor_is_allowed(self):
+        assert _rules("import random\nrng = random.Random(1997)\n") == []
+
+    def test_aliased_import_is_resolved(self):
+        code = "import random as rnd\nrnd.shuffle(items)\n"
+        assert _rules(code) == ["det-unseeded-random"]
+
+    def test_from_import_is_resolved(self):
+        code = "from random import shuffle\nshuffle(items)\n"
+        assert _rules(code) == ["det-unseeded-random"]
+
+    def test_numpy_global_rng_is_flagged(self):
+        code = "import numpy as np\nnp.random.rand(4)\n"
+        assert _rules(code) == ["det-unseeded-random"]
+
+    def test_numpy_default_rng_with_seed_is_allowed(self):
+        code = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert _rules(code) == []
+
+    def test_numpy_default_rng_without_seed_is_flagged(self):
+        code = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert _rules(code) == ["det-unseeded-random"]
+
+
+class TestWallClock:
+    def test_time_time_is_flagged(self):
+        assert _rules("import time\nt = time.time()\n") == ["det-wall-clock"]
+
+    def test_perf_counter_is_flagged(self):
+        code = "import time\nt = time.perf_counter()\n"
+        assert _rules(code) == ["det-wall-clock"]
+
+    def test_datetime_now_is_flagged(self):
+        code = "from datetime import datetime\nd = datetime.now()\n"
+        assert _rules(code) == ["det-wall-clock"]
+
+    def test_unrelated_now_method_is_allowed(self):
+        assert _rules("x = scheduler.now()\n") == []
+
+
+class TestEnvRead:
+    def test_environ_get_is_flagged(self):
+        code = "import os\nv = os.environ.get('REPRO_X')\n"
+        assert _rules(code) == ["det-env-read"]
+
+    def test_environ_subscript_is_flagged(self):
+        code = "import os\nv = os.environ['REPRO_X']\n"
+        assert _rules(code) == ["det-env-read"]
+
+    def test_getenv_is_flagged(self):
+        assert _rules("import os\nv = os.getenv('REPRO_X')\n") == \
+            ["det-env-read"]
+
+    def test_unrelated_environ_attribute_is_allowed(self):
+        assert _rules("v = simulator.environ\n") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_is_flagged(self):
+        assert _rules("for x in {1, 2, 3}:\n    pass\n") == \
+            ["det-set-iteration"]
+
+    def test_comprehension_over_set_call_is_flagged(self):
+        assert _rules("out = [x for x in set(names)]\n") == \
+            ["det-set-iteration"]
+
+    def test_for_over_frozenset_call_is_flagged(self):
+        assert _rules("for x in frozenset(names):\n    pass\n") == \
+            ["det-set-iteration"]
+
+    def test_sorted_set_is_allowed(self):
+        assert _rules("for x in sorted(set(names)):\n    pass\n") == []
+
+    def test_membership_test_is_allowed(self):
+        assert _rules("ok = x in {1, 2, 3}\n") == []
+
+
+class TestScope:
+    def test_out_of_scope_file_is_skipped_by_run(self):
+        from repro.analysis.base import Project
+
+        bad = SourceFile.from_text(
+            "metrics/x.py", "import random\nrandom.random()\n"
+        )
+        project = Project(root=None, files=[bad])
+        assert DeterminismChecker().run(project) == []
+
+    def test_in_scope_prefixes_cover_runner(self):
+        from repro.analysis.base import Project
+
+        bad = SourceFile.from_text(
+            "runner/x.py", "import random\nrandom.random()\n"
+        )
+        project = Project(root=None, files=[bad])
+        assert len(DeterminismChecker().run(project)) == 1

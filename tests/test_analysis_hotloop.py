@@ -1,0 +1,160 @@
+"""The hot-loop checker: kernel hygiene rules on synthetic hot paths."""
+
+import textwrap
+
+from repro.analysis.base import Project, SourceFile
+from repro.analysis.hotloop import ENUM_PROPERTIES, HotLoopChecker
+
+
+def _check(code, entries):
+    source = SourceFile.from_text("predictors/engine.py", textwrap.dedent(code))
+    return HotLoopChecker().check_file(source, entries)
+
+
+class TestEnumProperty:
+    def test_property_access_in_hot_body_is_flagged(self):
+        code = """
+        class Engine:
+            def process_branch(self, kind):
+                if kind.is_indirect:
+                    return 1
+                return 0
+        """
+        findings = _check(code, [("Engine.process_branch", True)])
+        assert [f.rule for f in findings] == ["hotloop-enum-property"]
+
+    def test_property_access_outside_hot_paths_is_ignored(self):
+        code = """
+        def classify(kind):
+            return kind.is_indirect
+        """
+        assert _check(code, [("other_function", True)]) == []
+
+    def test_property_in_loop_of_driver_is_flagged(self):
+        code = """
+        def simulate(records):
+            for record in records:
+                if record.kind.is_call:
+                    pass
+        """
+        findings = _check(code, [("simulate", False)])
+        assert [f.rule for f in findings] == ["hotloop-enum-property"]
+
+    def test_property_in_driver_setup_is_allowed(self):
+        code = """
+        def simulate(records):
+            calls = frozenset(k for k in KINDS if k.is_call)
+            for record in records:
+                pass
+        """
+        # setup line is outside the loop body, so not hot
+        findings = _check(code, [("simulate", False)])
+        assert findings == []
+
+    def test_enum_property_names_match_the_isa(self):
+        # The rule list must track BranchKind's actual properties.
+        from repro.guest.isa import BranchKind
+
+        actual = {
+            name
+            for name, value in vars(BranchKind).items()
+            if isinstance(value, property)
+        }
+        assert ENUM_PROPERTIES == actual
+
+
+class TestConstruct:
+    def test_camelcase_construction_in_loop_is_flagged(self):
+        code = """
+        def simulate(records):
+            for record in records:
+                stats = PredictionStats()
+        """
+        findings = _check(code, [("simulate", False)])
+        assert [f.rule for f in findings] == ["hotloop-construct"]
+
+    def test_construction_before_loop_is_allowed(self):
+        code = """
+        def simulate(records, config):
+            engine = FetchEngine(config)
+            for record in records:
+                engine.step(record)
+        """
+        assert _check(code, [("simulate", False)]) == []
+
+    def test_snake_case_calls_are_allowed(self):
+        code = """
+        class Engine:
+            def process_branch(self, pc):
+                return self.btb.lookup(pc)
+        """
+        assert _check(code, [("Engine.process_branch", True)]) == []
+
+    def test_upper_constant_call_is_allowed(self):
+        code = """
+        def simulate(records):
+            for record in records:
+                x = KIND_TABLE(record)
+        """
+        assert _check(code, [("simulate", False)]) == []
+
+
+class TestAttrChain:
+    def test_repeated_chain_in_loop_is_flagged(self):
+        code = """
+        def simulate(engine, records):
+            for record in records:
+                if engine.stats.total > 0:
+                    engine.stats.total += 1
+        """
+        findings = _check(code, [("simulate", False)])
+        assert [f.rule for f in findings] == ["hotloop-attr-chain"]
+        assert "engine.stats.total" in findings[0].message
+
+    def test_single_chain_read_is_allowed(self):
+        code = """
+        def simulate(engine, records):
+            for record in records:
+                engine.stats.record(record)
+        """
+        assert _check(code, [("simulate", False)]) == []
+
+    def test_single_step_attribute_is_not_a_chain(self):
+        code = """
+        def simulate(counter, records):
+            for record in records:
+                counter.executed += 1
+                counter.executed += 1
+        """
+        assert _check(code, [("simulate", False)]) == []
+
+    def test_straight_line_hot_body_has_no_chain_rule(self):
+        # process_branch-style code reads the same chain on mutually
+        # exclusive branches; that is not a repeated runtime lookup.
+        code = """
+        class Engine:
+            def process_branch(self, kind, taken):
+                if taken:
+                    self.ras.pop()
+                else:
+                    self.ras.pop()
+        """
+        assert _check(code, [("Engine.process_branch", True)]) == []
+
+
+class TestShippedKernel:
+    def test_shipped_hot_paths_are_clean(self):
+        project = Project.load()
+        findings = HotLoopChecker().run(project)
+        assert findings == [], [f.format() for f in findings]
+
+    def test_default_hot_paths_exist_in_the_tree(self):
+        from repro.analysis.astutil import functions_with_qualnames
+        from repro.analysis.hotloop import HOT_PATHS
+
+        project = Project.load()
+        for relpath, qualname, _ in HOT_PATHS:
+            source = project.file(relpath)
+            assert source is not None, relpath
+            names = {q for q, _ in functions_with_qualnames(source.tree)}
+            assert qualname in names, (relpath, qualname)

@@ -1,9 +1,9 @@
 """Unit tests for the branch target buffer and its update strategies."""
 
+import pytest
+
 from repro.guest.isa import BranchKind
 from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
-
-import pytest
 
 
 JUMP = BranchKind.IND_JUMP

@@ -1,12 +1,12 @@
 """Unit tests for the cascaded (filtered) target cache extension."""
 
+from repro.experiments.configs import pattern_history
 from repro.predictors import EngineConfig, TargetCacheConfig, simulate
 from repro.predictors.target_cache import (
     CascadedTargetCache,
     TaggedTargetCache,
     build_target_cache,
 )
-from repro.experiments.configs import pattern_history
 
 
 def _cascade(entries=16, assoc=4):

@@ -1,6 +1,5 @@
 """Unit tests for the guest disassembler."""
 
-import pytest
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.disasm import (

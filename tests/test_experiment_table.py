@@ -1,6 +1,5 @@
 """Tests for ExperimentTable formatting and the configs helpers."""
 
-import math
 
 import pytest
 

@@ -9,8 +9,8 @@ from repro.guest.isa import (
     OP_CLASS,
     BranchKind,
     GuestProgram,
-    Instruction,
     InstrClass,
+    Instruction,
     Op,
     classify_target,
     validate_register,

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.guest.builder import ProgramBuilder
-from repro.guest.vm import run_program
 from repro.experiments.configs import (
-    pattern_history,
     path_scheme_history,
+    pattern_history,
     tagless_engine,
 )
+from repro.guest.builder import ProgramBuilder
+from repro.guest.vm import run_program
 from repro.pipeline import MachineConfig, run_integrated
 from repro.predictors import EngineConfig, simulate
 from repro.trace.trace import Trace

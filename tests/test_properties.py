@@ -6,12 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.guest.isa import BranchKind
+from repro.pipeline.caches import DataCache, DataCacheConfig
 from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
 from repro.predictors.history import PathHistoryRegister, PatternHistoryRegister
 from repro.predictors.indexing import GAgIndex, GAsIndex, GShareIndex
 from repro.predictors.ras import ReturnAddressStack
 from repro.predictors.target_cache import TaggedIndexing, TaggedTargetCache
-from repro.pipeline.caches import DataCache, DataCacheConfig
 from repro.workloads.support import markov_sequence, transition_fraction, zipf_weights
 
 word_addresses = st.integers(min_value=0, max_value=1 << 20).map(lambda w: w * 4)

@@ -1,6 +1,5 @@
 """Property-based tests for the extension predictors and the metrics."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.guest.isa import BranchKind
+from repro.pipeline import MachineConfig
 from repro.predictors import (
     DirectionConfig,
     EngineConfig,
@@ -19,7 +20,6 @@ from repro.predictors import (
     simulate,
 )
 from repro.predictors.btb import UpdateStrategy
-from repro.pipeline import MachineConfig
 from repro.runner import (
     ResultCache,
     SweepCell,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import BranchKind
-from repro.guest.vm import VM, run_program
+from repro.guest.vm import VM
 from repro.trace.trace import Trace
 from repro.workloads import support
 from repro.workloads.support import RNG, T3

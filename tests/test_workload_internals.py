@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.workloads.deltablue_like import DeltablueParams, N_KINDS
+from repro.workloads.deltablue_like import N_KINDS, DeltablueParams
 from repro.workloads.gcc_like import (
     _BINARY_KINDS,
     _LEAF_KINDS,
@@ -21,7 +21,7 @@ from repro.workloads.m88ksim_like import (
     _toy_program,
 )
 from repro.workloads.perl_like import PerlParams
-from repro.workloads.xlisp_like import TAG_CONS, TAG_FIXNUM, XlispParams, _HeapGen
+from repro.workloads.xlisp_like import TAG_CONS, TAG_FIXNUM, _HeapGen, XlispParams
 
 
 class TestGccTreeGen:

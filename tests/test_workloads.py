@@ -4,7 +4,6 @@ import pytest
 
 from repro.guest.vm import run_program
 from repro.trace.stats import branch_mix, indirect_target_histogram, target_profile
-from repro.trace.trace import Trace
 from repro.workloads import build_program, get_trace, workload_names
 from repro.workloads.registry import WORKLOADS
 
