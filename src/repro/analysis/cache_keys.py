@@ -41,7 +41,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.analysis.base import Finding, Project
 
 #: Kernel roots whose transitive imports the prediction key must cover.
-PREDICTION_ROOTS = ("repro.predictors.engine",)
+#: The stream kernel is a root of its own: it must produce bit-identical
+#: results to the reference engine, so an edit to it must invalidate
+#: cached results exactly as an engine edit does.
+PREDICTION_ROOTS = ("repro.predictors.engine", "repro.predictors.streams")
 #: Kernel roots whose transitive imports the timing key must cover.
 TIMING_ROOTS = (
     "repro.pipeline.timing",

@@ -36,10 +36,18 @@ from repro.analysis.astutil import functions_with_qualnames, loop_bodies
 from repro.analysis.base import Finding, Project, SourceFile
 
 #: (relpath, function qualname, whole_body_hot) triples naming the kernel.
+#: The streams module's builders run once per (trace, signature) but still
+#: loop over every branch (or every history-shifting branch), and
+#: ``simulate_streamed`` loops once per target-cache access per cell — all
+#: of them per-dynamic-branch paths that must stay allocation-free.
 HOT_PATHS: Tuple[Tuple[str, str, bool], ...] = (
     ("predictors/engine.py", "FetchEngine.process_branch", True),
     ("predictors/engine.py", "simulate", False),
     ("predictors/engine.py", "simulate_many", False),
+    ("predictors/streams.py", "build_streams", False),
+    ("predictors/streams.py", "_variant_walk", False),
+    ("predictors/streams.py", "BranchStreams._per_address_variant", False),
+    ("predictors/streams.py", "simulate_streamed", False),
 )
 
 #: ``BranchKind`` convenience properties; cheap at module import, not per

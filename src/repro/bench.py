@@ -1,0 +1,174 @@
+"""Machine-readable performance baseline: ``repro bench``.
+
+Runs the same scenario the speed guards assert on — a one-signature
+target-cache sweep, reference :func:`~repro.predictors.engine.simulate_many`
+versus the stream-factored kernel of :mod:`repro.predictors.streams` — and
+writes the measurements to ``BENCH_sweep.json`` so the performance
+trajectory of the sweep engine is recorded per commit (CI uploads the file
+as an artifact).  Timing uses min-of-rounds, like the guards, so scheduler
+noise cannot masquerade as a regression.
+
+The JSON payload is versioned via its ``schema`` field; consumers should
+ignore unknown keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from repro.predictors import (
+    EngineConfig,
+    TargetCacheConfig,
+    build_streams,
+    decode_branches,
+    simulate_many,
+    simulate_streamed,
+    stream_signature,
+)
+from repro.workloads import get_trace
+
+#: Bump when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+DEFAULT_WORKLOAD = "perl"
+DEFAULT_N_CONFIGS = 12
+DEFAULT_ROUNDS = 3
+
+
+def default_trace_length() -> int:
+    """Default instruction count, overridable like the speed guards."""
+    return int(os.environ.get("REPRO_BENCH_TRACE_LENGTH", "100000"))
+
+
+def sweep_configs(n_configs: int = DEFAULT_N_CONFIGS) -> List[EngineConfig]:
+    """A tagged-target-cache sweep sharing one stream signature.
+
+    Mirrors the paper's Table 7/8 shape (geometry sweep of the tagged
+    cache); every cell projects onto the same
+    :class:`~repro.predictors.streams.StreamConfig`, which is the scenario
+    the stream kernel amortises.
+    """
+    configs = []
+    entries = 128
+    assoc_cycle = (1, 2, 4)
+    while len(configs) < n_configs:
+        for assoc in assoc_cycle:
+            if len(configs) >= n_configs:
+                break
+            configs.append(
+                EngineConfig(
+                    target_cache=TargetCacheConfig(
+                        kind="tagged", entries=entries, assoc=assoc
+                    )
+                )
+            )
+        entries *= 2
+    return configs
+
+
+def _min_time(func: Callable[[], object], rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(workload: str = DEFAULT_WORKLOAD,
+              trace_length: int | None = None, seed: int = 1997,
+              n_configs: int = DEFAULT_N_CONFIGS,
+              rounds: int = DEFAULT_ROUNDS,
+              use_trace_cache: bool = True) -> Dict[str, Any]:
+    """Measure cold vs warm sweep throughput; return the JSON payload."""
+    if trace_length is None:
+        trace_length = default_trace_length()
+    trace = get_trace(workload, n_instructions=trace_length, seed=seed,
+                      use_cache=use_trace_cache)
+    decoded = decode_branches(trace)
+    configs = sweep_configs(n_configs)
+    signature = stream_signature(configs[0])
+
+    reference_total = _min_time(lambda: simulate_many(trace, configs), rounds)
+    build_time = _min_time(lambda: build_streams(decoded, signature), rounds)
+    streams = build_streams(decoded, signature)
+    warm_total = _min_time(
+        lambda: [simulate_streamed(streams, config) for config in configs],
+        rounds,
+    )
+
+    n = len(configs)
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "params": {
+            "workload": workload,
+            "trace_length": trace_length,
+            "seed": seed,
+            "n_configs": n,
+            "rounds": rounds,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "trace": {
+            "instructions": trace_length,
+            "branches": streams.n_branches,
+            "target_cache_subset": streams.subset_size,
+            "subset_fraction": (
+                streams.subset_size / streams.n_branches
+                if streams.n_branches else 0.0
+            ),
+        },
+        "reference": {
+            "total_s": reference_total,
+            "per_cell_s": reference_total / n,
+            "cells_per_s": n / reference_total,
+        },
+        "stream_kernel": {
+            "build_s": build_time,
+            "warm_total_s": warm_total,
+            "warm_per_cell_s": warm_total / n,
+            "warm_cells_per_s": n / warm_total,
+        },
+        "speedup": {
+            "per_cell": reference_total / warm_total,
+            "including_build": reference_total / (build_time + warm_total),
+        },
+    }
+    return payload
+
+
+def write_bench(payload: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a bench payload."""
+    params = payload["params"]
+    reference = payload["reference"]
+    kernel = payload["stream_kernel"]
+    speedup = payload["speedup"]
+    return "\n".join([
+        f"bench: {params['workload']} x {params['n_configs']} cells, "
+        f"{params['trace_length']} instructions "
+        f"(min of {params['rounds']} rounds)",
+        f"  reference simulate_many: {reference['total_s']:.3f}s "
+        f"({reference['per_cell_s'] * 1e3:.1f} ms/cell)",
+        f"  stream build:            {kernel['build_s']:.3f}s",
+        f"  warm stream sweep:       {kernel['warm_total_s']:.3f}s "
+        f"({kernel['warm_per_cell_s'] * 1e3:.1f} ms/cell)",
+        f"  speedup: {speedup['per_cell']:.1f}x per cell, "
+        f"{speedup['including_build']:.1f}x including build",
+    ])

@@ -8,11 +8,14 @@ Subcommands::
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
     repro lint [--format json|text]   # run the domain lint passes
+    repro bench [--bench-output F]    # measure sweep throughput -> JSON
 
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
 ``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
 processes for experiment sweeps), ``--no-result-cache`` (bypass the
-persistent prediction-result cache, see :mod:`repro.runner`).
+persistent prediction-result cache, see :mod:`repro.runner`).  ``bench``
+writes the machine-readable baseline described in :mod:`repro.bench`
+(default ``BENCH_sweep.json``; see ``--bench-output``/``--rounds``).
 """
 
 from __future__ import annotations
@@ -40,9 +43,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         help="experiment name, 'all', 'list', 'trace', "
-                             "'dump', or 'lint'")
+                             "'dump', 'lint', or 'bench'")
     parser.add_argument("workload", nargs="?",
-                        help="workload name (for 'trace' and 'dump')")
+                        help="workload name (for 'trace', 'dump', 'bench')")
     parser.add_argument("--head", type=int, default=80,
                         help="instructions to disassemble (dump command)")
     parser.add_argument("--trace-length", type=int, default=None,
@@ -62,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run only the named lint checker (repeatable)")
     parser.add_argument("--list-checks", action="store_true",
                         help="list registered lint checkers and exit")
+    parser.add_argument("--bench-output", default="BENCH_sweep.json",
+                        metavar="FILE",
+                        help="where 'bench' writes its JSON payload")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing rounds per measurement (bench command)")
     return parser
 
 
@@ -136,12 +144,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        DEFAULT_ROUNDS,
+        DEFAULT_WORKLOAD,
+        format_summary,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(
+        workload=args.workload or DEFAULT_WORKLOAD,
+        trace_length=args.trace_length,
+        seed=args.seed,
+        rounds=args.rounds if args.rounds is not None else DEFAULT_ROUNDS,
+        use_trace_cache=not args.no_cache,
+    )
+    output = Path(args.bench_output)
+    write_bench(payload, output)
+    print(format_summary(payload))
+    print(f"  wrote {output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "dump":

@@ -16,7 +16,12 @@ This package implements every prediction structure the paper simulates:
 * :mod:`~repro.predictors.engine` — the fetch-engine composite that glues
   the above together exactly as §3 describes, plus the trace-driven
   simulator that produces misprediction statistics and the mispredict mask
-  consumed by the timing models.
+  consumed by the timing models;
+* :mod:`~repro.predictors.streams` — the stream-factored sweep kernel:
+  precomputes the per-branch history/routing streams that are identical
+  across every target-cache configuration sharing a base config, then
+  simulates each cell over just the target-cache-relevant subset
+  (bit-identical to :func:`~repro.predictors.engine.simulate`).
 """
 
 from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
@@ -45,6 +50,15 @@ from repro.predictors.indexing import (
     IndexScheme,
 )
 from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.streams import (
+    BranchStreams,
+    StreamConfig,
+    build_streams,
+    simulate_many_streamed,
+    simulate_streamed,
+    stream_signature,
+    streams_supported,
+)
 from repro.predictors.target_cache import (
     OracleTargetPredictor,
     TaggedIndexing,
@@ -79,6 +93,13 @@ __all__ = [
     "GShareIndex",
     "IndexScheme",
     "ReturnAddressStack",
+    "BranchStreams",
+    "StreamConfig",
+    "build_streams",
+    "simulate_many_streamed",
+    "simulate_streamed",
+    "stream_signature",
+    "streams_supported",
     "OracleTargetPredictor",
     "TaggedIndexing",
     "TaggedTargetCache",

@@ -10,13 +10,24 @@ worker processes.  The design goals, in order:
    only ``(benchmark, config)`` descriptors (small frozen dataclasses) and
    load traces themselves from the on-disk trace cache, memoising both the
    trace and its decoded branch rows for every subsequent cell.
-3. **Near-free warm re-runs**: cells whose
+3. **Pay for the per-branch walk once per (trace, base config)**: cells are
+   grouped by :func:`~repro.predictors.streams.stream_signature`, each
+   worker memoises the :class:`~repro.predictors.streams.BranchStreams`
+   for the signatures it sees, and every supported cell runs through the
+   stream kernel (:func:`~repro.predictors.streams.simulate_streamed`) —
+   bit-identical to the reference engine, but per-cell cost proportional to
+   the target-cache-relevant subset of branches.  Cells the stream kernel
+   cannot represent (history wider than 64 bits) fall back to
+   :func:`~repro.predictors.engine.simulate` per cell.
+4. **Near-free warm re-runs**: cells whose
    :func:`~repro.runner.keys.cell_key` is already in the persistent
    :class:`~repro.runner.cache.ResultCache` never reach a worker.
 
-The serial path (``jobs=1``) runs in-process through
-:func:`~repro.predictors.engine.simulate_many`'s decoded-row reuse, so even
-single-core sweeps benefit from the batch API.
+The serial path (``jobs=1``) runs in-process with the same per-signature
+stream memo, so even single-core sweeps amortise the per-branch walk.  A
+worker pool that breaks mid-sweep (a worker killed by the OOM killer or a
+signal) is downgraded to the serial path for whatever cells were still
+outstanding, with a warning.
 """
 
 from __future__ import annotations
@@ -24,15 +35,22 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.predictors import (
+    BranchStreams,
     DecodedBranches,
     EngineConfig,
     PredictionStats,
+    StreamConfig,
+    build_streams,
     decode_branches,
     simulate,
+    simulate_streamed,
+    stream_signature,
+    streams_supported,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.keys import cell_key
@@ -90,6 +108,7 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
         "use_trace_cache": use_trace_cache,
         "decoded": {},
         "traces": {},
+        "streams": {},
     }
 
 
@@ -108,23 +127,62 @@ def _worker_decoded(benchmark: str) -> DecodedBranches:
     return decoded
 
 
+def _worker_streams(benchmark: str, signature: StreamConfig) -> BranchStreams:
+    """Per-worker :class:`BranchStreams` memo, built at most once each."""
+    state = _WORKER_STATE
+    assert state is not None, "worker used before _init_worker"
+    streams = state["streams"].get((benchmark, signature))
+    if streams is None:
+        streams = build_streams(_worker_decoded(benchmark), signature)
+        state["streams"][(benchmark, signature)] = streams
+    return streams
+
+
 def _run_chunk(benchmark: str,
                items: List[Tuple[int, EngineConfig, bool]]
                ) -> List[Tuple[int, PredictionStats]]:
     decoded = _worker_decoded(benchmark)
     assert _WORKER_STATE is not None
     trace = _WORKER_STATE["traces"][benchmark]
-    return [
-        (index, simulate(trace, config, collect_mask=collect_mask,
-                         decoded=decoded))
-        for index, config, collect_mask in items
-    ]
+    out: List[Tuple[int, PredictionStats]] = []
+    for index, config, collect_mask in items:
+        if streams_supported(config):
+            streams = _worker_streams(benchmark, stream_signature(config))
+            stats = simulate_streamed(streams, config,
+                                      collect_mask=collect_mask)
+        else:
+            stats = simulate(trace, config, collect_mask=collect_mask,
+                             decoded=decoded)
+        out.append((index, stats))
+    return out
 
 
 # ----------------------------------------------------------------------
 # Parent side.
 # ----------------------------------------------------------------------
 _T = TypeVar("_T")
+
+
+def _group_by_signature(
+    items: List[Tuple[int, EngineConfig, bool]]
+) -> List[Tuple[int, EngineConfig, bool]]:
+    """Reorder ``items`` so cells sharing a stream signature are adjacent.
+
+    Chunked contiguously, cells with one signature land in as few workers
+    as possible, so each :class:`BranchStreams` is built at most once per
+    worker that needs it (results are reassembled by cell index, so the
+    order here never leaks into outputs).  Unsupported cells group under
+    ``None``.  First-seen signature order keeps the schedule deterministic.
+    """
+    groups: Dict[Optional[StreamConfig],
+                 List[Tuple[int, EngineConfig, bool]]] = {}
+    for item in items:
+        config = item[1]
+        signature = (
+            stream_signature(config) if streams_supported(config) else None
+        )
+        groups.setdefault(signature, []).append(item)
+    return [item for group in groups.values() for item in group]
 
 
 def _split_chunks(items: List[_T], pieces: int) -> List[List[_T]]:
@@ -211,10 +269,21 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
         for benchmark, items in by_benchmark.items():
             trace = load_trace(benchmark)
             decoded = decode_branches(trace)
+            streams_memo: Dict[StreamConfig, BranchStreams] = {}
             for position, config, need_mask in items:
-                out[position] = simulate(trace, config,
-                                         collect_mask=need_mask,
-                                         decoded=decoded)
+                if streams_supported(config):
+                    signature = stream_signature(config)
+                    streams = streams_memo.get(signature)
+                    if streams is None:
+                        streams = build_streams(decoded, signature)
+                        streams_memo[signature] = streams
+                    out[position] = simulate_streamed(
+                        streams, config, collect_mask=need_mask
+                    )
+                else:
+                    out[position] = simulate(trace, config,
+                                             collect_mask=need_mask,
+                                             decoded=decoded)
         return out  # type: ignore[return-value]
 
     # Parallel path: make sure each trace exists on disk exactly once
@@ -225,8 +294,9 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
     chunks = [
         (benchmark, chunk)
         for benchmark, items in by_benchmark.items()
-        for chunk in _split_chunks(items, jobs)
+        for chunk in _split_chunks(_group_by_signature(items), jobs)
     ]
+    pool_broke = False
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),
@@ -236,17 +306,33 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
             initargs=(trace_length, seed, use_trace_cache,
                       os.environ.get("REPRO_TRACE_CACHE")),  # repro-lint: ignore[det-env-read]
         ) as pool:
-            futures = [
-                pool.submit(_run_chunk, benchmark, chunk)
-                for benchmark, chunk in chunks
-            ]
-            for future in as_completed(futures):
-                for position, stats in future.result():
-                    out[position] = stats
+            try:
+                futures = [
+                    pool.submit(_run_chunk, benchmark, chunk)
+                    for benchmark, chunk in chunks
+                ]
+                for future in as_completed(futures):
+                    for position, stats in future.result():
+                        out[position] = stats
+            except BrokenProcessPool as exc:
+                # A worker died mid-sweep (OOM killer, signal, crash).
+                # Chunks that already returned are kept; everything else
+                # is recomputed serially below.
+                pool_broke = True
+                warnings.warn(
+                    f"worker pool broke mid-sweep ({exc}); finishing the "
+                    "remaining cells serially"
+                )
     except (OSError, PermissionError) as exc:  # e.g. sandboxed /dev/shm
         warnings.warn(
             f"process pool unavailable ({exc}); running sweep serially"
         )
         return _compute(pending, 1, trace_length, seed, use_trace_cache,
                         trace_provider)
+    if pool_broke:
+        remaining = [i for i, stats in enumerate(out) if stats is None]
+        redone = _compute([pending[i] for i in remaining], 1, trace_length,
+                          seed, use_trace_cache, trace_provider)
+        for i, stats in zip(remaining, redone):
+            out[i] = stats
     return out  # type: ignore[return-value]

@@ -174,6 +174,43 @@ class TestModuleCoverage:
         )
         assert findings == []
 
+    def test_streams_is_a_prediction_root(self):
+        # The stream kernel must sit inside the fingerprinted closure: an
+        # edit to it changes results-producing code, so it has to
+        # invalidate cached results exactly like an engine edit.
+        from repro.analysis.cache_keys import PREDICTION_ROOTS
+        from repro.runner.keys import _ENGINE_CODE_MODULES
+
+        assert "repro.predictors.streams" in PREDICTION_ROOTS
+        project = Project.load()
+        closure = import_closure(project, PREDICTION_ROOTS)
+        assert "repro.predictors.streams" in closure
+        # and the fingerprint list actually covers it (package entry)
+        anchor = ("runner/keys.py", 1)
+        assert check_module_coverage(
+            project, ("repro.predictors.streams",),
+            covered=tuple(_ENGINE_CODE_MODULES), anchor=anchor,
+        ) == []
+
+    def test_streams_importing_uncovered_module_is_flagged(self):
+        # Known-bad fixture: a streams.py that pulls a helper from outside
+        # every fingerprinted package — the checker must flag it, because
+        # edits to that helper would not invalidate cached results.
+        project = _project({
+            "predictors/streams.py": """
+                from repro.predictors.fastmath import suffix_mask
+            """,
+            "predictors/fastmath.py": "def suffix_mask(w): return (1 << w) - 1\n",
+            "predictors/__init__.py": "",
+        })
+        findings = check_module_coverage(
+            project, ["repro.predictors.streams"],
+            covered=("repro.predictors.engine",),
+            anchor=("runner/keys.py", 1),
+        )
+        assert "cachekey-module-uncovered" in _rules(findings)
+        assert any("fastmath" in f.message for f in findings)
+
     def test_missing_fingerprint_module_is_flagged(self):
         findings = check_modules_exist(
             ("repro.predictors", "repro.no_such_module"),

@@ -1,0 +1,75 @@
+"""The ``repro bench`` baseline: payload shape, invariants, round-trips."""
+
+import json
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    format_summary,
+    run_bench,
+    sweep_configs,
+    write_bench,
+)
+from repro.cli import main
+from repro.predictors import stream_signature, streams_supported
+
+TRACE_LENGTH = 8_000
+
+
+def _payload():
+    return run_bench(workload="perl", trace_length=TRACE_LENGTH,
+                     n_configs=3, rounds=1, use_trace_cache=False)
+
+
+class TestSweepConfigs:
+    def test_requested_count_and_single_signature(self):
+        configs = sweep_configs(7)
+        assert len(configs) == 7
+        assert all(streams_supported(c) for c in configs)
+        assert len({stream_signature(c) for c in configs}) == 1
+
+    def test_configs_are_distinct_cells(self):
+        configs = sweep_configs(6)
+        assert len(set(configs)) == 6
+
+
+class TestRunBench:
+    def test_payload_schema(self):
+        payload = _payload()
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["params"]["workload"] == "perl"
+        assert payload["params"]["trace_length"] == TRACE_LENGTH
+        for key in ("python", "platform", "numpy", "cpu_count"):
+            assert key in payload["environment"]
+        assert payload["trace"]["target_cache_subset"] > 0
+        assert 0 < payload["trace"]["subset_fraction"] < 1
+        assert payload["reference"]["total_s"] > 0
+        assert payload["stream_kernel"]["build_s"] > 0
+        assert payload["stream_kernel"]["warm_total_s"] > 0
+        assert payload["speedup"]["per_cell"] > 0
+        assert payload["speedup"]["including_build"] > 0
+
+    def test_payload_is_json_serialisable(self, tmp_path):
+        payload = _payload()
+        path = tmp_path / "BENCH_sweep.json"
+        write_bench(payload, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(payload)
+        )
+
+    def test_summary_mentions_the_headline_numbers(self):
+        payload = _payload()
+        text = format_summary(payload)
+        assert "speedup" in text
+        assert "perl" in text
+
+
+def test_bench_command_writes_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    output = tmp_path / "BENCH_sweep.json"
+    assert main(["bench", "perl", "--trace-length", str(TRACE_LENGTH),
+                 "--rounds", "1", "--bench-output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["params"]["workload"] == "perl"

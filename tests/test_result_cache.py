@@ -162,12 +162,18 @@ class TestCacheBehaviourInRunCells:
 
         calls = []
         real_simulate = pool_mod.simulate
+        real_streamed = pool_mod.simulate_streamed
 
         def counting_simulate(*args, **kwargs):
             calls.append(1)
             return real_simulate(*args, **kwargs)
 
+        def counting_streamed(*args, **kwargs):
+            calls.append(1)
+            return real_streamed(*args, **kwargs)
+
         monkeypatch.setattr(pool_mod, "simulate", counting_simulate)
+        monkeypatch.setattr(pool_mod, "simulate_streamed", counting_streamed)
         run_cells(cells, jobs=1, trace_length=LENGTH // 2, result_cache=cache)
         assert calls, "different trace length must miss the cache"
 

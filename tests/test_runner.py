@@ -6,6 +6,8 @@ and a warm-result-cache re-run must produce identical
 :class:`PredictionStats` counters and mispredict masks.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -152,7 +154,35 @@ class TestExperimentContextMemo:
             assert ctx.prediction(*cell) is stats
 
 
+def _kill_worker(benchmark, items):
+    """Chunk runner that dies abruptly, breaking the whole process pool.
+
+    Module-level so the fork-started workers can unpickle it by reference.
+    ``os._exit`` skips all cleanup, like an OOM kill or a stray SIGKILL.
+    """
+    os._exit(1)
+
+
 class TestPoolFallback:
+    def test_worker_death_mid_sweep_recovers_serially(self, monkeypatch):
+        import multiprocessing
+
+        import repro.runner.pool as pool_mod
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork workers to inherit the monkeypatch")
+        monkeypatch.setattr(pool_mod, "_run_chunk", _kill_worker)
+        cells = [SweepCell("perl", config, collect_mask=True)
+                 for config in CONFIGS]
+        with pytest.warns(UserWarning, match="broke mid-sweep"):
+            results = run_cells(cells, jobs=2, trace_length=TRACE_LENGTH)
+        # the serial retry (which never touches _run_chunk) must deliver
+        # every cell, bit-identical to a plain serial run
+        reference = run_cells(cells, jobs=1, trace_length=TRACE_LENGTH)
+        assert len(results) == len(cells)
+        for got, want in zip(results, reference):
+            assert_identical(got, want)
+
     def test_pool_failure_degrades_to_serial(self, monkeypatch):
         import repro.runner.pool as pool_mod
 
