@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Record and summarise a run ledger for a small parallel sweep.
+
+Demonstrates the `repro.obs` observability subsystem as a library: install
+a :class:`LedgerSink`, run a two-worker sweep over a slice of the tagged
+target-cache design space, shut the sink down (which merges the per-process
+shard files into one JSONL ledger), then read the ledger back and print the
+``repro report`` summary — per-phase wall-clock, result-cache hit rate,
+pool utilization, and the slowest cells.
+
+The same ledger falls out of any CLI run via ``REPRO_OBS=1 repro all``;
+see docs/OBSERVABILITY.md for the event schema and guarantees.
+
+Usage::
+
+    python examples/run_ledger.py [trace_length]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.obs import (
+    LedgerSink,
+    format_summary,
+    install,
+    read_ledger,
+    shutdown,
+    summarize,
+)
+from repro.predictors import EngineConfig, TargetCacheConfig
+from repro.runner import SweepCell, run_cells
+
+
+def main() -> None:
+    trace_length = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    cells = [
+        SweepCell(benchmark, EngineConfig(
+            target_cache=TargetCacheConfig(kind="tagged", entries=entries,
+                                           assoc=assoc),
+        ))
+        for benchmark in ("perl", "gcc")
+        for entries in (256, 512)
+        for assoc in (1, 4)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = Path(tmp) / "run_ledger.jsonl"
+        install(LedgerSink(ledger))
+        try:
+            stats = run_cells(cells, jobs=2, trace_length=trace_length)
+        finally:
+            shutdown()  # flush, merge worker shards, restore the null sink
+
+        records = read_ledger(ledger)
+        print(f"sweep: {len(cells)} cells, 2 workers, "
+              f"{trace_length:,}-instruction traces")
+        best = min(zip(cells, stats),
+                   key=lambda pair: pair[1].indirect_mispred_rate)
+        print(f"best cell: {best[0].benchmark} "
+              f"{best[0].config.target_cache.entries}-entry "
+              f"{best[0].config.target_cache.assoc}-way "
+              f"({best[1].indirect_mispred_rate:.1%} indirect mispredictions)")
+        print()
+        print(format_summary(summarize(records, top=3)))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.analysis.bitwidth import BitWidthChecker
 from repro.analysis.cache_keys import CacheKeyChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.hotloop import HotLoopChecker
+from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.report import LintReport, describe_checkers
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "CacheKeyChecker",
     "DeterminismChecker",
     "HotLoopChecker",
+    "ObsDisciplineChecker",
     "LintReport",
     "CHECKERS",
     "describe_checkers",
@@ -45,6 +47,7 @@ CHECKERS: List[Checker] = [
     CacheKeyChecker(),
     BitWidthChecker(),
     HotLoopChecker(),
+    ObsDisciplineChecker(),
 ]
 
 

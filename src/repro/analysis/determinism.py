@@ -7,7 +7,9 @@ Anything that sneaks wall-clock time, unseeded randomness, environment
 state, or hash-randomised iteration order into the simulation kernel breaks
 that contract *silently* — cached and fresh runs diverge with no error.
 
-Rules (checked inside ``predictors/``, ``pipeline/``, and ``runner/``):
+Rules (checked inside ``predictors/``, ``pipeline/``, ``runner/``, and
+``obs/`` — telemetry must not perturb results, so its few legitimate
+wall-clock/environment reads carry explicit suppressions):
 
 ``det-unseeded-random``
     Module-level ``random.*`` / ``numpy.random.*`` calls.  Seeded generator
@@ -33,7 +35,7 @@ from repro.analysis.astutil import import_aliases, resolve_dotted
 from repro.analysis.base import Finding, Project, SourceFile
 
 #: Package-relative directories the determinism rules apply to.
-SCOPE = ("predictors/", "pipeline/", "runner/")
+SCOPE = ("predictors/", "pipeline/", "runner/", "obs/")
 
 _WALL_CLOCK = frozenset(
     {
@@ -62,7 +64,7 @@ class DeterminismChecker:
     name = "determinism"
     description = (
         "unseeded RNG, wall-clock, os.environ, and set-iteration hazards in "
-        "predictors/, pipeline/, and runner/"
+        "predictors/, pipeline/, runner/, and obs/"
     )
 
     def __init__(self, scope: Sequence[str] = SCOPE) -> None:

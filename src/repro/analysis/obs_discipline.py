@@ -1,0 +1,146 @@
+"""Telemetry-discipline lint for the :mod:`repro.obs` subsystem.
+
+The run ledger is only trustworthy if instrumenting the code cannot
+change what the code computes or how fast it computes it.  Two rules
+keep that true as instrumentation spreads:
+
+``obs-in-hot-path``
+    A telemetry call (``get_sink``, ``.span``, ``.incr``, ``.gauge``,
+    ``.event``, ``.flush``) inside a per-branch hot region named by
+    :data:`repro.analysis.hotloop.HOT_PATHS`.  Even the disabled sink
+    costs an attribute lookup and a call per operation; once per dynamic
+    branch, that is exactly the overhead class PR 1 removed.  Telemetry
+    belongs at the call sites *around* the kernels (per cell, per chunk,
+    per build) — the wrappers in ``runner/pool.py`` are the pattern.
+``obs-span-unmanaged``
+    A ``.span(...)`` call that is not the context expression of a
+    ``with`` statement.  A span only records on ``__exit__``; calling
+    it bare starts a timer nobody stops, and the ledger silently loses
+    the phase.  ``with sink.span("name"): ...`` is the only supported
+    shape (``with a, b:`` items count, bare expression statements and
+    assignments do not).
+
+Both rules run only in files that import ``repro.obs`` — the attribute
+names are generic enough (``event``, ``span``) that unrelated APIs must
+not trip them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.astutil import functions_with_qualnames, loop_bodies
+from repro.analysis.base import Finding, Project, SourceFile
+from repro.analysis.hotloop import HOT_PATHS
+
+#: Method names on a sink (or module functions) that constitute telemetry.
+TELEMETRY_ATTRS = frozenset({"span", "incr", "gauge", "event", "flush"})
+
+
+def _imports_obs(tree: ast.Module) -> bool:
+    """Whether the module imports ``repro.obs`` (any form)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(name.name.startswith("repro.obs") for name in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro.obs"):
+                return True
+    return False
+
+
+def _call_attr(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class ObsDisciplineChecker:
+    """Keep telemetry out of the per-branch kernel and spans context-managed."""
+
+    name = "obs"
+    description = (
+        "no telemetry calls in per-branch hot paths; every span "
+        "context-managed (files importing repro.obs)"
+    )
+
+    def __init__(
+        self, hot_paths: Sequence[Tuple[str, str, bool]] = HOT_PATHS
+    ) -> None:
+        self.hot_paths = tuple(hot_paths)
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        hot_by_file: Dict[str, List[Tuple[str, bool]]] = {}
+        for relpath, qualname, whole in self.hot_paths:
+            hot_by_file.setdefault(relpath, []).append((qualname, whole))
+        for source in project.files:
+            if not _imports_obs(source.tree):
+                continue
+            findings.extend(
+                self._check_hot_regions(source, hot_by_file.get(source.relpath, []))
+            )
+            findings.extend(self._check_spans_managed(source))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_hot_regions(
+        self, source: SourceFile, entries: Sequence[Tuple[str, bool]]
+    ) -> List[Finding]:
+        wanted = dict(entries)
+        findings: List[Finding] = []
+        for qualname, func in functions_with_qualnames(source.tree):
+            whole = wanted.get(qualname)
+            if whole is None:
+                continue
+            if whole:
+                regions: List[List[ast.stmt]] = [list(func.body)]
+            else:
+                regions = list(loop_bodies(func))
+            for region in regions:
+                for stmt in region:
+                    for node in ast.walk(stmt):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        attr = _call_attr(node)
+                        if attr in TELEMETRY_ATTRS or attr == "get_sink":
+                            findings.append(
+                                Finding(
+                                    "obs-in-hot-path", source.relpath,
+                                    node.lineno,
+                                    f"telemetry call '{attr}' inside hot "
+                                    f"path '{qualname}'; instrument the "
+                                    "call site around the kernel instead "
+                                    "(see runner/pool.py)",
+                                )
+                            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_spans_managed(self, source: SourceFile) -> List[Finding]:
+        managed: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in managed
+            ):
+                findings.append(
+                    Finding(
+                        "obs-span-unmanaged", source.relpath, node.lineno,
+                        "span() outside a with statement never records "
+                        "(it only measures on __exit__); write "
+                        "'with sink.span(...):'",
+                    )
+                )
+        return findings

@@ -9,7 +9,10 @@ as an artifact).  Timing uses min-of-rounds, like the guards, so scheduler
 noise cannot masquerade as a regression.
 
 The JSON payload is versioned via its ``schema`` field; consumers should
-ignore unknown keys.
+ignore unknown keys.  ``BENCH_sweep.json`` always holds the *latest* run;
+:func:`append_history` additionally appends each payload as one JSONL line
+to ``BENCH_history.jsonl``, so the trajectory across runs survives the
+overwrite (``repro report --compare OLD NEW`` diffs any two payloads).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from typing import Any, Callable, Dict, List
 
 import numpy as np
 
+from repro.obs import get_sink
 from repro.predictors import (
     EngineConfig,
     TargetCacheConfig,
@@ -96,13 +100,23 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
     configs = sweep_configs(n_configs)
     signature = stream_signature(configs[0])
 
-    reference_total = _min_time(lambda: simulate_many(trace, configs), rounds)
-    build_time = _min_time(lambda: build_streams(decoded, signature), rounds)
+    # Spans sit *outside* the measured closures: the ledger records how
+    # long each bench phase took without perturbing the measurements.
+    sink = get_sink()
+    with sink.span("bench.reference", workload=workload, rounds=rounds):
+        reference_total = _min_time(
+            lambda: simulate_many(trace, configs), rounds
+        )
+    with sink.span("bench.build", workload=workload, rounds=rounds):
+        build_time = _min_time(
+            lambda: build_streams(decoded, signature), rounds
+        )
     streams = build_streams(decoded, signature)
-    warm_total = _min_time(
-        lambda: [simulate_streamed(streams, config) for config in configs],
-        rounds,
-    )
+    with sink.span("bench.warm", workload=workload, rounds=rounds):
+        warm_total = _min_time(
+            lambda: [simulate_streamed(streams, config) for config in configs],
+            rounds,
+        )
 
     n = len(configs)
     payload: Dict[str, Any] = {
@@ -152,6 +166,18 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
 
 def write_bench(payload: Dict[str, Any], path: Path) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def append_history(payload: Dict[str, Any], path: Path) -> None:
+    """Append ``payload`` as one JSONL line to the bench history file.
+
+    ``BENCH_sweep.json`` is overwritten per run (consumers always see the
+    latest payload); the history file keeps every run, newest last, so the
+    performance trajectory is recoverable after the fact.
+    """
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
 
 
 def format_summary(payload: Dict[str, Any]) -> str:

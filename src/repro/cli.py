@@ -9,13 +9,24 @@ Subcommands::
     repro dump <workload> [--head N]  # disassemble a workload's code
     repro lint [--format json|text]   # run the domain lint passes
     repro bench [--bench-output F]    # measure sweep throughput -> JSON
+    repro report [LEDGER]             # summarise a run ledger
+    repro report --compare OLD NEW    # diff two bench payloads (CI gate)
 
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
 ``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
 processes for experiment sweeps), ``--no-result-cache`` (bypass the
 persistent prediction-result cache, see :mod:`repro.runner`).  ``bench``
 writes the machine-readable baseline described in :mod:`repro.bench`
-(default ``BENCH_sweep.json``; see ``--bench-output``/``--rounds``).
+(default ``BENCH_sweep.json``; see ``--bench-output``/``--rounds``) and
+appends every payload to a history file (``--bench-history``).
+
+Observability (:mod:`repro.obs`): simulation commands (experiments,
+``all``, ``bench``) honour ``REPRO_OBS`` — unset/``0`` disabled, ``1``
+for a ledger at ``repro_ledger.jsonl``, any other value is the ledger
+path.  ``--obs-ledger FILE`` forces a ledger; ``--no-obs`` forces obs
+off regardless of the environment.  ``repro report LEDGER`` summarises
+the result; read-only commands never construct a sink, so summarising a
+ledger cannot clobber it.
 """
 
 from __future__ import annotations
@@ -43,9 +54,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         help="experiment name, 'all', 'list', 'trace', "
-                             "'dump', 'lint', or 'bench'")
+                             "'dump', 'lint', 'bench', or 'report'")
     parser.add_argument("workload", nargs="?",
-                        help="workload name (for 'trace', 'dump', 'bench')")
+                        help="workload name (for 'trace', 'dump', 'bench') "
+                             "or ledger path (for 'report')")
     parser.add_argument("--head", type=int, default=80,
                         help="instructions to disassemble (dump command)")
     parser.add_argument("--trace-length", type=int, default=None,
@@ -68,8 +80,25 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bench-output", default="BENCH_sweep.json",
                         metavar="FILE",
                         help="where 'bench' writes its JSON payload")
+    parser.add_argument("--bench-history", default=None, metavar="FILE",
+                        help="bench history JSONL (default: "
+                             "BENCH_history.jsonl next to --bench-output)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="timing rounds per measurement (bench command)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the run ledger even if REPRO_OBS is set")
+    parser.add_argument("--obs-ledger", default=None, metavar="FILE",
+                        help="record a run ledger at FILE (overrides "
+                             "REPRO_OBS)")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("OLD", "NEW"),
+                        help="report command: diff two bench JSON payloads; "
+                             "exits 1 on regression")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest cells to list (report command)")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold percent for "
+                             "'report --compare' (default 20)")
     return parser
 
 
@@ -150,6 +179,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         DEFAULT_ROUNDS,
         DEFAULT_WORKLOAD,
+        append_history,
         format_summary,
         run_bench,
         write_bench,
@@ -164,23 +194,72 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     output = Path(args.bench_output)
     write_bench(payload, output)
+    # The latest payload overwrites BENCH_sweep.json; the history file
+    # keeps one JSONL line per run so the trajectory survives.
+    history = (
+        Path(args.bench_history) if args.bench_history is not None
+        else output.with_name("BENCH_history.jsonl")
+    )
+    append_history(payload, history)
     print(format_summary(payload))
-    print(f"  wrote {output}")
+    print(f"  wrote {output} (history: {history})")
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "lint":
-        return _cmd_lint(args)
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        DEFAULT_LEDGER,
+        compare_bench,
+        format_compare,
+        format_summary,
+        read_ledger,
+        summarize,
+    )
+
+    if args.compare is not None:
+        old_path, new_path = Path(args.compare[0]), Path(args.compare[1])
+        if not old_path.exists():
+            # First run in a fresh environment (e.g. an empty CI cache):
+            # nothing to compare against is a warning, not a failure.
+            print(f"repro report: no previous payload at {old_path}; "
+                  "skipping comparison", file=sys.stderr)
+            return 0
+        if not new_path.exists():
+            print(f"repro report: {new_path} not found", file=sys.stderr)
+            return 2
+        old = json.loads(old_path.read_text())
+        new = json.loads(new_path.read_text())
+        result = compare_bench(old, new, threshold_pct=args.threshold)
+        if args.format == "json":
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(format_compare(result))
+        return 1 if result["regressed"] else 0
+
+    ledger = Path(args.workload or DEFAULT_LEDGER)
+    if not ledger.exists():
+        print(f"repro report: ledger {ledger} not found (run with "
+              "REPRO_OBS=1 or --obs-ledger first)", file=sys.stderr)
+        return 2
+    try:
+        records = read_ledger(ledger)
+    except ValueError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize(records, top=args.top)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+def _run_simulation(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _cmd_bench(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "dump":
-        return _cmd_dump(args)
     ctx = _context(args)
     names = list(EXPERIMENT_MODULES) if args.command == "all" else [args.command]
     for name in names:
@@ -194,6 +273,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"   [{time.time() - start:.1f}s]")
         print()
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "dump":
+        return _cmd_dump(args)
+    # Only simulation commands construct a sink: read-only commands must
+    # never open (and on close, overwrite) a ledger they might be reading.
+    from repro.obs import bootstrap, shutdown
+
+    bootstrap(ledger=args.obs_ledger, disable=args.no_obs)
+    try:
+        return _run_simulation(args)
+    finally:
+        shutdown()
 
 
 if __name__ == "__main__":  # pragma: no cover

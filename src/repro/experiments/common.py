@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import numpy.typing as npt
 
+from repro.obs import get_sink
 from repro.pipeline import MachineConfig, memory_penalties, run_timing
 from repro.predictors import EngineConfig, PredictionStats
 from repro.runner import (
@@ -178,13 +179,15 @@ class ExperimentContext:
                 SweepCell(benchmark, config, collect_mask=collect_mask)
                 for benchmark, config in missing
             ]
-            computed = run_cells(
-                sweep, jobs=self.jobs,
-                trace_length=self.trace_length, seed=self.seed,
-                use_trace_cache=self.use_trace_cache,
-                result_cache=self._result_cache,
-                trace_provider=self.trace,
-            )
+            with get_sink().span("predictions", cells=len(sweep),
+                                 jobs=self.jobs):
+                computed = run_cells(
+                    sweep, jobs=self.jobs,
+                    trace_length=self.trace_length, seed=self.seed,
+                    use_trace_cache=self.use_trace_cache,
+                    result_cache=self._result_cache,
+                    trace_provider=self.trace,
+                )
             for (benchmark, config), stats in zip(missing, computed):
                 self._predictions[(benchmark, config)] = stats
         return [self._predictions[cell] for cell in cells]
@@ -235,10 +238,11 @@ class ExperimentContext:
             if cached is not None:
                 return cached
         stats = self.prediction(benchmark, config, collect_mask=True)
-        result = run_timing(
-            self.trace(benchmark), self.machine,
-            stats.mispredict_mask, self.penalty(benchmark),
-        )
+        with get_sink().span("timing", benchmark=benchmark):
+            result = run_timing(
+                self.trace(benchmark), self.machine,
+                stats.mispredict_mask, self.penalty(benchmark),
+            )
         if cache_key is not None:
             self._result_cache.store_cycles(cache_key, result.cycles)
         return result.cycles
@@ -260,7 +264,8 @@ def run_experiment(name: str, ctx: Optional[ExperimentContext] = None) -> Experi
             f"{', '.join(sorted(EXPERIMENT_MODULES))}"
         )
     module = importlib.import_module(EXPERIMENT_MODULES[name])
-    return module.run(ctx or ExperimentContext())
+    with get_sink().span("experiment", experiment=name):
+        return module.run(ctx or ExperimentContext())
 
 
 def sweep_rows(labels: Sequence[str],

@@ -1,0 +1,128 @@
+"""Core instrumentation primitives: spans, metrics, and the sink protocol.
+
+The observability subsystem is *pull-free*: instrumented code asks the
+process-global sink (:func:`repro.obs.get_sink`) for a :class:`Span` or
+bumps a counter, and the sink decides what happens.  Two sinks exist:
+
+* :class:`NullSink` — the default.  Every operation is a no-op; ``span``
+  returns one shared, stateless :class:`NullSpan` singleton so disabled
+  instrumentation allocates nothing and costs a single method call.  The
+  overhead guard (``benchmarks/test_obs_overhead.py``) keeps it that way.
+* :class:`~repro.obs.ledger.LedgerSink` — records events to the JSONL run
+  ledger described in ``docs/OBSERVABILITY.md``.
+
+Telemetry never feeds back into simulation results: sinks only *observe*.
+The wall-clock reads below are therefore suppressed for the determinism
+lint — timestamps and durations are recorded, never consumed by the
+kernel.
+
+Granularity contract: spans and counters belong at **cell or phase**
+granularity (one event per sweep cell, per stream build, per pool run),
+never inside the per-branch loops listed in
+:data:`repro.analysis.hotloop.HOT_PATHS`.  The ``obs-discipline`` lint
+pass enforces this.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Union
+
+#: JSON-able metadata attached to spans and events.
+MetaValue = Union[str, int, float, bool, None]
+
+
+class NullSpan:
+    """A span that measures nothing; base class of the recording Span.
+
+    One module-level instance (:data:`NULL_SPAN`) is shared by every
+    disabled ``span()`` call, so the off path never allocates.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: The shared no-op span handed out by disabled sinks.
+NULL_SPAN = NullSpan()
+
+
+class Span(NullSpan):
+    """Nested wall-clock timer; reports its duration to the sink on exit.
+
+    Spans must be context-managed (``with sink.span("cell", ...):``) so
+    that every opened span is closed exactly once — the ``obs-discipline``
+    lint pass enforces the ``with`` form at every call site.
+    """
+
+    __slots__ = ("_sink", "name", "meta", "_start")
+
+    def __init__(self, sink: "Sink", name: str,
+                 meta: Optional[Dict[str, MetaValue]]) -> None:
+        self._sink = sink
+        self.name = name
+        self.meta = meta
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        # Telemetry timestamp: observed, never fed back into results.
+        self._start = time.perf_counter()  # repro-lint: ignore[det-wall-clock]
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        # Duration of an already-computed result; cannot alter it.
+        duration = time.perf_counter() - self._start  # repro-lint: ignore[det-wall-clock]
+        self._sink.record_span(self.name, duration, self.meta)
+
+
+class Sink:
+    """The sink protocol *and* the disabled implementation.
+
+    Every method is a no-op here; :class:`~repro.obs.ledger.LedgerSink`
+    overrides them.  Instrumented code must treat the return value of
+    :meth:`span` as an opaque context manager and never branch on
+    ``enabled`` — a disabled sink is cheap enough to call unconditionally.
+    """
+
+    #: True when events are actually recorded somewhere.
+    enabled: bool = False
+
+    #: Where the merged ledger will land, if anywhere (the pool runner
+    #: forwards this to worker processes).
+    ledger_path: Optional[str] = None
+
+    def span(self, name: str, **meta: MetaValue) -> NullSpan:
+        """A wall-clock span; use only as ``with sink.span(...):``."""
+        return NULL_SPAN
+
+    def incr(self, name: str, value: int = 1) -> None:
+        """Bump a monotonically accumulating counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (e.g. pool width)."""
+
+    def event(self, name: str, **meta: MetaValue) -> None:
+        """Record a discrete occurrence (e.g. a pool breakage)."""
+
+    def record_span(self, name: str, duration: float,
+                    meta: Optional[Mapping[str, MetaValue]]) -> None:
+        """Called by :class:`Span` on exit; not part of the user API."""
+
+    def flush(self) -> None:
+        """Persist buffered events (workers call this after each chunk)."""
+
+    def close(self) -> None:
+        """Flush, and in the parent process merge worker shards."""
+
+
+class NullSink(Sink):
+    """Alias of the disabled base sink, for explicitness at call sites."""
+
+
+#: The process-wide disabled sink (also the bootstrap default).
+NULL_SINK = NullSink()

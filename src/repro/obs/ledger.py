@@ -1,0 +1,180 @@
+"""The JSONL run ledger: one event stream per run, process-safe by sharding.
+
+Every process — the parent and each pool worker — appends complete JSON
+lines to its **own** shard file (``<ledger>.<pid>.part``), so no two
+processes ever write the same file and no line can interleave or tear.
+When the parent sink closes, it concatenates the shards (parent first,
+then workers by pid) into the final ledger path atomically and removes
+them.  A shard left behind by a killed worker is merged too: whatever it
+flushed before dying is kept, and any torn trailing bytes (no final
+newline) are dropped during the merge.
+
+Event schema (one JSON object per line; ``repro report`` consumes it):
+
+``{"t": <unix-time>, "pid": <int>, "kind": "span" | "counter" | "gauge"
+| "event" | "run", "name": <str>, ...}``
+
+* ``span``    — adds ``"dur"`` (seconds) and optional ``"meta"``;
+* ``counter`` — adds ``"value"`` (accumulated since the last flush);
+* ``gauge``   — adds ``"value"`` (point-in-time level);
+* ``event``   — optional ``"meta"``;
+* ``run``     — lifecycle markers (``start``) carrying the schema version
+  and the process role (``parent`` / ``worker``).
+
+Counters are accumulated in-process and emitted only at flush time, so a
+hot counter costs one dict update per increment, not one write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.obs.core import MetaValue, Sink, Span
+
+#: Bump when the event layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Buffered lines before an automatic flush.
+_FLUSH_EVERY = 256
+
+_SHARD_RE = re.compile(r"\.(\d+)\.part$")
+
+
+class LedgerSink(Sink):
+    """A recording sink backed by one per-process shard of the run ledger.
+
+    The parent process constructs one with ``role="parent"`` (the default):
+    it clears stale shards from a previous crashed run and, on
+    :meth:`close`, merges every shard into ``path``.  Worker processes get
+    ``role="worker"`` via :func:`repro.obs.attach_worker`: they only ever
+    append to their own shard and flush at chunk boundaries, leaving the
+    merge to the parent.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path], role: str = "parent") -> None:
+        if role not in ("parent", "worker"):
+            raise ValueError(f"unknown ledger role: {role!r}")
+        self.path = Path(path)
+        self.role = role
+        self.pid = os.getpid()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._shard = self.path.parent / f"{self.path.name}.{self.pid}.part"
+        self._lines: List[str] = []
+        self._counters: Dict[str, int] = {}
+        self._closed = False
+        if role == "parent":
+            for stale in self._shards():
+                stale.unlink(missing_ok=True)
+        self._emit({"kind": "run", "name": "start", "role": role,
+                    "schema": LEDGER_SCHEMA_VERSION})
+        self.flush()  # the shard exists from here on, even if killed
+
+    @property
+    def ledger_path(self) -> Optional[str]:  # type: ignore[override]
+        return str(self.path)
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def span(self, name: str, **meta: MetaValue) -> Span:
+        return Span(self, name, meta or None)
+
+    def record_span(self, name: str, duration: float,
+                    meta: Optional[Mapping[str, MetaValue]]) -> None:
+        record: Dict[str, object] = {"kind": "span", "name": name,
+                                     "dur": round(duration, 9)}
+        if meta:
+            record["meta"] = dict(meta)
+        self._emit(record)
+
+    def incr(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self._emit({"kind": "gauge", "name": name, "value": value})
+
+    def event(self, name: str, **meta: MetaValue) -> None:
+        record: Dict[str, object] = {"kind": "event", "name": name}
+        if meta:
+            record["meta"] = dict(meta)
+        self._emit(record)
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+    def _emit(self, record: Dict[str, object]) -> None:
+        if self._closed:
+            return
+        # Event timestamp (epoch seconds, comparable across processes);
+        # telemetry only — results never read it.
+        record = {"t": round(time.time(), 6),  # repro-lint: ignore[det-wall-clock]
+                  "pid": self.pid, **record}
+        self._lines.append(json.dumps(record, separators=(",", ":")))
+        if len(self._lines) >= _FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._counters:
+            drained = sorted(self._counters.items())
+            self._counters.clear()
+            for name, value in drained:
+                self._emit({"kind": "counter", "name": name, "value": value})
+        if not self._lines:
+            return
+        # One write call of whole lines: a reader (or the merge) never
+        # observes a torn line from a live shard.
+        with open(self._shard, "a", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in self._lines))
+        self._lines.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self.role == "parent":
+            self._merge()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Merging (parent only).
+    # ------------------------------------------------------------------
+    def _shards(self) -> List[Path]:
+        """Shard files for this ledger, parent's own first, then by pid."""
+        shards = []
+        for candidate in self.path.parent.glob(f"{self.path.name}.*.part"):
+            match = _SHARD_RE.search(candidate.name)
+            if match is None:
+                continue
+            pid = int(match.group(1))
+            shards.append((pid != self.pid, pid, candidate))
+        return [path for _, _, path in sorted(shards)]
+
+    def _merge(self) -> None:
+        """Concatenate every shard into ``self.path`` atomically.
+
+        Complete lines only: a shard whose writer was killed mid-write may
+        end without a newline; those trailing bytes are dropped rather
+        than corrupting the merged ledger.
+        """
+        shards = self._shards()
+        tmp = self.path.parent / f"{self.path.name}.merge.tmp"
+        with open(tmp, "w", encoding="utf-8") as out:
+            for shard in shards:
+                try:
+                    text = shard.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                newline = text.rfind("\n")
+                if newline < 0:
+                    continue
+                out.write(text[:newline + 1])
+        os.replace(tmp, self.path)
+        for shard in shards:
+            shard.unlink(missing_ok=True)

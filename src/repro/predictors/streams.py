@@ -49,6 +49,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
+from repro.obs import get_sink
 from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
 from repro.predictors.direction import DirectionConfig, DirectionPredictor
 from repro.predictors.engine import (
@@ -560,12 +561,16 @@ def simulate_many_streamed(
     """
     streams_by_signature = memo if memo is not None else {}
     results: List[PredictionStats] = []
+    sink = get_sink()
     for config in configs:
         signature = stream_signature(config)
         streams = streams_by_signature.get(signature)
         if streams is None:
-            streams = build_streams(decoded, signature)
+            with sink.span("streams.build"):
+                streams = build_streams(decoded, signature)
             streams_by_signature[signature] = streams
+        else:
+            sink.incr("streams.reuse")
         results.append(
             simulate_streamed(streams, config, collect_mask=collect_mask)
         )

@@ -17,6 +17,10 @@ Control knobs:
 * ``REPRO_RESULT_CACHE=/some/dir`` relocates it (default
   ``~/.cache/repro-results``);
 * deleting the directory clears it.
+
+Every load/store (and every corrupt-entry eviction) bumps a
+``result_cache.*`` counter on the :mod:`repro.obs` sink, so an enabled
+run ledger shows exactly how the cache behaved — free when obs is off.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.guest.isa import BranchKind
+from repro.obs import get_sink
 from repro.predictors import PredictionStats
 
 _FORMAT_VERSION = 1
@@ -82,6 +87,7 @@ class ResultCache:
         """
         path = self._path(key)
         if not path.exists():
+            get_sink().incr("result_cache.load.miss")
             return None
         try:
             with np.load(path) as archive:
@@ -89,6 +95,7 @@ class ResultCache:
                     raise ValueError("format version mismatch")
                 has_mask = bool(archive["has_mask"])
                 if need_mask and not has_mask:
+                    get_sink().incr("result_cache.load.miss")
                     return None
                 stats = PredictionStats(
                     instructions=int(archive["instructions"]),
@@ -108,12 +115,15 @@ class ResultCache:
                     stats.mispredict_mask = np.unpackbits(
                         archive["mask_packed"], count=n
                     ).astype(bool)
+                get_sink().incr("result_cache.load.hit")
                 return stats
         except (ValueError, OSError, KeyError):
             path.unlink(missing_ok=True)  # corrupt or stale entry
+            get_sink().incr("result_cache.evict")
             return None
 
     def store(self, key: str, stats: PredictionStats) -> None:
+        get_sink().incr("result_cache.store")
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         kinds = sorted(stats.per_kind, key=lambda kind: kind.value)
@@ -153,17 +163,21 @@ class ResultCache:
         """Cached cycle count under a :func:`~repro.runner.keys.timing_key`."""
         path = self._cycles_path(key)
         if not path.exists():
+            get_sink().incr("result_cache.cycles.miss")
             return None
         try:
             payload = json.loads(path.read_text())
             if payload["version"] != _FORMAT_VERSION:
                 raise ValueError("format version mismatch")
+            get_sink().incr("result_cache.cycles.hit")
             return int(payload["cycles"])
         except (ValueError, OSError, KeyError, TypeError):
             path.unlink(missing_ok=True)  # corrupt or stale entry
+            get_sink().incr("result_cache.evict")
             return None
 
     def store_cycles(self, key: str, cycles: int) -> None:
+        get_sink().incr("result_cache.cycles.store")
         path = self._cycles_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"version": _FORMAT_VERSION, "cycles": int(cycles)})

@@ -28,6 +28,13 @@ stream memo, so even single-core sweeps amortise the per-branch walk.  A
 worker pool that breaks mid-sweep (a worker killed by the OOM killer or a
 signal) is downgraded to the serial path for whatever cells were still
 outstanding, with a warning.
+
+Every layer is instrumented through :mod:`repro.obs` (a no-op unless a
+run ledger is enabled): per-cell spans with the kernel used, result-cache
+hit/miss counters, stream build/reuse telemetry, chunk-scheduling events,
+and pool lifecycle events (including ``BrokenProcessPool`` recovery).
+When the parent's sink is a ledger, workers attach their own shard via
+the pool initializer and flush at chunk boundaries.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs import attach_worker, get_sink
 from repro.predictors import (
     BranchStreams,
     DecodedBranches,
@@ -96,12 +104,17 @@ _WORKER_STATE: Optional[Dict[str, Any]] = None
 
 
 def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
-                 trace_cache_dir: Optional[str]) -> None:
+                 trace_cache_dir: Optional[str],
+                 ledger_path: Optional[str]) -> None:
     global _WORKER_STATE
     if trace_cache_dir is not None:
         # Propagate the parent's cache location even under a spawn start
         # method, where mutated parent environment is not inherited.
         os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir  # repro-lint: ignore[det-env-read]
+    if ledger_path is not None:
+        # Replace any fork-inherited parent sink with a worker-role sink
+        # writing this process's own ledger shard.
+        attach_worker(ledger_path)
     _WORKER_STATE = {
         "trace_length": trace_length,
         "seed": seed,
@@ -133,8 +146,11 @@ def _worker_streams(benchmark: str, signature: StreamConfig) -> BranchStreams:
     assert state is not None, "worker used before _init_worker"
     streams = state["streams"].get((benchmark, signature))
     if streams is None:
-        streams = build_streams(_worker_decoded(benchmark), signature)
+        with get_sink().span("streams.build", benchmark=benchmark):
+            streams = build_streams(_worker_decoded(benchmark), signature)
         state["streams"][(benchmark, signature)] = streams
+    else:
+        get_sink().incr("streams.reuse")
     return streams
 
 
@@ -144,16 +160,23 @@ def _run_chunk(benchmark: str,
     decoded = _worker_decoded(benchmark)
     assert _WORKER_STATE is not None
     trace = _WORKER_STATE["traces"][benchmark]
+    sink = get_sink()
     out: List[Tuple[int, PredictionStats]] = []
     for index, config, collect_mask in items:
         if streams_supported(config):
             streams = _worker_streams(benchmark, stream_signature(config))
-            stats = simulate_streamed(streams, config,
-                                      collect_mask=collect_mask)
+            with sink.span("cell", benchmark=benchmark, kernel="stream"):
+                stats = simulate_streamed(streams, config,
+                                          collect_mask=collect_mask)
         else:
-            stats = simulate(trace, config, collect_mask=collect_mask,
-                             decoded=decoded)
+            sink.incr("streams.fallback_reference")
+            with sink.span("cell", benchmark=benchmark, kernel="reference"):
+                stats = simulate(trace, config, collect_mask=collect_mask,
+                                 decoded=decoded)
         out.append((index, stats))
+    # Chunk boundary: persist this worker's shard so nothing is lost if
+    # the pool later breaks (the parent merges whatever was flushed).
+    sink.flush()
     return out
 
 
@@ -211,6 +234,7 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
     instead of hitting the disk cache.  Duplicate cells are simulated once.
     """
     jobs = default_jobs() if jobs is None else max(1, jobs)
+    sink = get_sink()
     results: List[Optional[PredictionStats]] = [None] * len(cells)
 
     # Deduplicate and consult the persistent cache.  A cell needs the mask
@@ -227,9 +251,11 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
             keys[(benchmark, config)] = key
             hit = result_cache.load(key, need_mask=need_mask)
             if hit is not None:
+                sink.incr("runner.cell_cache.hit")
                 for i in indices:
                     results[i] = hit
                 continue
+            sink.incr("runner.cell_cache.miss")
         pending.append((benchmark, config, need_mask))
 
     if pending:
@@ -264,6 +290,7 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
             (position, config, need_mask)
         )
 
+    sink = get_sink()
     out: List[Optional[PredictionStats]] = [None] * len(pending)
     if jobs <= 1 or len(pending) == 1:
         for benchmark, items in by_benchmark.items():
@@ -275,15 +302,23 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
                     signature = stream_signature(config)
                     streams = streams_memo.get(signature)
                     if streams is None:
-                        streams = build_streams(decoded, signature)
+                        with sink.span("streams.build", benchmark=benchmark):
+                            streams = build_streams(decoded, signature)
                         streams_memo[signature] = streams
-                    out[position] = simulate_streamed(
-                        streams, config, collect_mask=need_mask
-                    )
+                    else:
+                        sink.incr("streams.reuse")
+                    with sink.span("cell", benchmark=benchmark,
+                                   kernel="stream"):
+                        out[position] = simulate_streamed(
+                            streams, config, collect_mask=need_mask
+                        )
                 else:
-                    out[position] = simulate(trace, config,
-                                             collect_mask=need_mask,
-                                             decoded=decoded)
+                    sink.incr("streams.fallback_reference")
+                    with sink.span("cell", benchmark=benchmark,
+                                   kernel="reference"):
+                        out[position] = simulate(trace, config,
+                                                 collect_mask=need_mask,
+                                                 decoded=decoded)
         return out  # type: ignore[return-value]
 
     # Parallel path: make sure each trace exists on disk exactly once
@@ -296,34 +331,43 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
         for benchmark, items in by_benchmark.items()
         for chunk in _split_chunks(_group_by_signature(items), jobs)
     ]
+    workers = min(jobs, len(chunks))
+    sink.gauge("pool.jobs", workers)
+    for benchmark, chunk in chunks:
+        sink.event("pool.chunk", benchmark=benchmark, cells=len(chunk))
     pool_broke = False
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks)),
-            initializer=_init_worker,
-            # Forwarding the trace-cache location to workers relocates
-            # files only; trace fingerprints key the cached contents.
-            initargs=(trace_length, seed, use_trace_cache,
-                      os.environ.get("REPRO_TRACE_CACHE")),  # repro-lint: ignore[det-env-read]
-        ) as pool:
-            try:
-                futures = [
-                    pool.submit(_run_chunk, benchmark, chunk)
-                    for benchmark, chunk in chunks
-                ]
-                for future in as_completed(futures):
-                    for position, stats in future.result():
-                        out[position] = stats
-            except BrokenProcessPool as exc:
-                # A worker died mid-sweep (OOM killer, signal, crash).
-                # Chunks that already returned are kept; everything else
-                # is recomputed serially below.
-                pool_broke = True
-                warnings.warn(
-                    f"worker pool broke mid-sweep ({exc}); finishing the "
-                    "remaining cells serially"
-                )
+        with sink.span("pool.run", jobs=workers, chunks=len(chunks),
+                       cells=len(pending)):
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                # Forwarding the trace-cache location to workers relocates
+                # files only; trace fingerprints key the cached contents.
+                initargs=(trace_length, seed, use_trace_cache,
+                          os.environ.get("REPRO_TRACE_CACHE"),  # repro-lint: ignore[det-env-read]
+                          sink.ledger_path),
+            ) as pool:
+                try:
+                    futures = [
+                        pool.submit(_run_chunk, benchmark, chunk)
+                        for benchmark, chunk in chunks
+                    ]
+                    for future in as_completed(futures):
+                        for position, stats in future.result():
+                            out[position] = stats
+                except BrokenProcessPool as exc:
+                    # A worker died mid-sweep (OOM killer, signal, crash).
+                    # Chunks that already returned are kept; everything
+                    # else is recomputed serially below.
+                    pool_broke = True
+                    sink.event("pool.broken", error=str(exc))
+                    warnings.warn(
+                        f"worker pool broke mid-sweep ({exc}); finishing "
+                        "the remaining cells serially"
+                    )
     except (OSError, PermissionError) as exc:  # e.g. sandboxed /dev/shm
+        sink.event("pool.unavailable", error=str(exc))
         warnings.warn(
             f"process pool unavailable ({exc}); running sweep serially"
         )
@@ -331,6 +375,7 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
                         trace_provider)
     if pool_broke:
         remaining = [i for i, stats in enumerate(out) if stats is None]
+        sink.event("pool.recovery", cells=len(remaining))
         redone = _compute([pending[i] for i in remaining], 1, trace_length,
                           seed, use_trace_cache, trace_provider)
         for i, stats in zip(remaining, redone):

@@ -12,6 +12,8 @@ def _hermetic_caches(tmp_path, monkeypatch):
     """Keep trace/result caching away from the user's real cache dirs."""
     monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
     monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "result-cache"))
+    # A developer's REPRO_OBS must not make CLI-driven tests write ledgers.
+    monkeypatch.delenv("REPRO_OBS", raising=False)
 
 
 @pytest.fixture(scope="session")

@@ -92,7 +92,7 @@ class TestRegistryAndReport:
         names = [checker.name for checker in CHECKERS]
         assert len(names) == len(set(names))
         assert set(names) == {"determinism", "cache-keys", "bitwidth",
-                              "hotloop"}
+                              "hotloop", "obs"}
 
     def test_only_filters_checkers(self):
         report = run_lint(only=["hotloop"])

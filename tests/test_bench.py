@@ -4,6 +4,7 @@ import json
 
 from repro.bench import (
     SCHEMA_VERSION,
+    append_history,
     format_summary,
     run_bench,
     sweep_configs,
@@ -63,6 +64,24 @@ class TestRunBench:
         assert "perl" in text
 
 
+class TestHistory:
+    def test_append_history_accumulates_jsonl_lines(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        first = _payload()
+        second = _payload()
+        append_history(first, path)
+        append_history(second, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == json.loads(json.dumps(first))
+        assert json.loads(lines[1]) == json.loads(json.dumps(second))
+
+    def test_history_lines_are_single_line_payloads(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(_payload(), path)
+        assert "\n" not in path.read_text().rstrip("\n")
+
+
 def test_bench_command_writes_json(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
     output = tmp_path / "BENCH_sweep.json"
@@ -73,3 +92,35 @@ def test_bench_command_writes_json(capsys, tmp_path, monkeypatch):
     payload = json.loads(output.read_text())
     assert payload["schema"] == SCHEMA_VERSION
     assert payload["params"]["workload"] == "perl"
+
+
+def test_bench_command_versions_its_output(capsys, tmp_path, monkeypatch):
+    """BENCH_sweep.json is always the latest run; history keeps them all."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    output = tmp_path / "BENCH_sweep.json"
+    argv = ["bench", "perl", "--trace-length", str(TRACE_LENGTH),
+            "--rounds", "1", "--bench-output", str(output)]
+    assert main(argv) == 0
+    first = json.loads(output.read_text())
+    assert main(argv) == 0
+    second = json.loads(output.read_text())
+    history = tmp_path / "BENCH_history.jsonl"  # default: next to output
+    lines = [json.loads(line) for line in history.read_text().splitlines()]
+    assert len(lines) == 2
+    assert lines[0] == first
+    assert lines[1] == second
+    capsys.readouterr()
+
+
+def test_bench_command_honours_explicit_history_path(capsys, tmp_path,
+                                                     monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    output = tmp_path / "BENCH_sweep.json"
+    history = tmp_path / "custom" / "trajectory.jsonl"
+    history.parent.mkdir()
+    assert main(["bench", "perl", "--trace-length", str(TRACE_LENGTH),
+                 "--rounds", "1", "--bench-output", str(output),
+                 "--bench-history", str(history)]) == 0
+    assert len(history.read_text().splitlines()) == 1
+    assert not (tmp_path / "BENCH_history.jsonl").exists()
+    capsys.readouterr()

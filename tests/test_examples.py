@@ -22,6 +22,7 @@ _CASES = {
     "pipeline_speedup.py": ["12000"],
     "custom_workload.py": [],
     "predictor_lineage.py": ["perl", "40000"],
+    "run_ledger.py": ["20000"],
 }
 
 

@@ -1,0 +1,184 @@
+"""Core obs primitives: null objects, spans, and the sink lifecycle."""
+
+import pytest
+
+from repro.obs import (
+    NULL_SINK,
+    NULL_SPAN,
+    NullSink,
+    NullSpan,
+    Sink,
+    Span,
+    bootstrap,
+    get_sink,
+    install,
+    shutdown,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_sink():
+    """Every test leaves the process-global sink as it found it."""
+    previous = get_sink()
+    yield
+    install(previous)
+
+
+class _Recorder(Sink):
+    """Captures record_span/incr/gauge/event calls for assertions."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans = []
+        self.counters = {}
+        self.gauges = []
+        self.events = []
+
+    def span(self, name, **meta):
+        return Span(self, name, meta or None)
+
+    def record_span(self, name, duration, meta):
+        self.spans.append((name, duration, meta))
+
+    def incr(self, name, value=1):
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name, value):
+        self.gauges.append((name, value))
+
+    def event(self, name, **meta):
+        self.events.append((name, meta))
+
+
+class TestNullObjects:
+    def test_disabled_sink_hands_out_the_shared_null_span(self):
+        assert NULL_SINK.span("anything", benchmark="perl") is NULL_SPAN
+        assert Sink().span("x") is NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+
+    def test_null_span_allocates_no_per_instance_state(self):
+        assert NullSpan.__slots__ == ()
+
+    def test_disabled_operations_are_noops(self):
+        sink = NullSink()
+        sink.incr("c")
+        sink.gauge("g", 3.0)
+        sink.event("e", detail="x")
+        sink.flush()
+        sink.close()
+        assert not sink.enabled
+        assert sink.ledger_path is None
+
+    def test_recording_span_is_a_null_span_subtype(self):
+        # call sites treat the return of span() uniformly; the recording
+        # span must be substitutable for the null one
+        assert issubclass(Span, NullSpan)
+
+
+class TestSpan:
+    def test_span_reports_duration_and_meta_on_exit(self):
+        sink = _Recorder()
+        with sink.span("cell", benchmark="perl", kernel="stream"):
+            pass
+        [(name, duration, meta)] = sink.spans
+        assert name == "cell"
+        assert duration >= 0.0
+        assert meta == {"benchmark": "perl", "kernel": "stream"}
+
+    def test_span_without_meta_reports_none(self):
+        sink = _Recorder()
+        with sink.span("phase"):
+            pass
+        assert sink.spans[0][2] is None
+
+    def test_nested_spans_each_record(self):
+        sink = _Recorder()
+        with sink.span("outer"):
+            with sink.span("inner"):
+                pass
+        names = [name for name, _, _ in sink.spans]
+        assert names == ["inner", "outer"]  # inner exits first
+
+    def test_span_records_even_when_the_body_raises(self):
+        sink = _Recorder()
+        with pytest.raises(RuntimeError):
+            with sink.span("failing"):
+                raise RuntimeError("boom")
+        assert [name for name, _, _ in sink.spans] == ["failing"]
+
+
+class TestLifecycle:
+    def test_default_sink_is_the_null_sink(self):
+        install(NULL_SINK)
+        assert get_sink() is NULL_SINK
+
+    def test_install_returns_the_previous_sink(self):
+        install(NULL_SINK)
+        mine = _Recorder()
+        assert install(mine) is NULL_SINK
+        assert get_sink() is mine
+
+    def test_shutdown_restores_the_null_sink_before_closing(self):
+        closed = []
+
+        class _Closing(_Recorder):
+            def close(self):
+                # by the time close runs, the global must already be the
+                # null sink, so telemetry during close cannot recurse
+                closed.append(get_sink())
+
+        install(_Closing())
+        shutdown()
+        assert get_sink() is NULL_SINK
+        assert closed == [NULL_SINK]
+
+
+class TestBootstrap:
+    def test_unset_environment_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert bootstrap() is NULL_SINK
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "no", "false", "OFF"])
+    def test_off_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_OBS", value)
+        assert bootstrap() is NULL_SINK
+
+    @pytest.mark.parametrize("value", ["1", "on", "true", "yes", "ON"])
+    def test_on_values_enable_the_default_ledger(self, monkeypatch,
+                                                 tmp_path, value):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_OBS", value)
+        sink = bootstrap()
+        try:
+            assert sink.enabled
+            assert sink.ledger_path == "repro_ledger.jsonl"
+        finally:
+            shutdown()
+
+    def test_other_values_are_the_ledger_path(self, monkeypatch, tmp_path):
+        target = tmp_path / "custom.jsonl"
+        monkeypatch.setenv("REPRO_OBS", str(target))
+        sink = bootstrap()
+        try:
+            assert sink.ledger_path == str(target)
+        finally:
+            shutdown()
+
+    def test_disable_flag_wins_over_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert bootstrap(disable=True) is NULL_SINK
+
+    def test_explicit_ledger_wins_over_the_environment(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        target = tmp_path / "forced.jsonl"
+        sink = bootstrap(ledger=target)
+        try:
+            assert sink.enabled
+            assert sink.ledger_path == str(target)
+        finally:
+            shutdown()
