@@ -18,7 +18,7 @@ from repro.analysis.base import (
     SourceFile,
 )
 from repro.analysis.bitwidth import BitWidthChecker
-from repro.analysis.cache_keys import CacheKeyChecker
+from repro.analysis.cache_keys import CacheKeyChecker, RegistryChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.hotloop import HotLoopChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
@@ -32,6 +32,7 @@ __all__ = [
     "SourceFile",
     "BitWidthChecker",
     "CacheKeyChecker",
+    "RegistryChecker",
     "DeterminismChecker",
     "HotLoopChecker",
     "ObsDisciplineChecker",
@@ -45,6 +46,7 @@ __all__ = [
 CHECKERS: List[Checker] = [
     DeterminismChecker(),
     CacheKeyChecker(),
+    RegistryChecker(),
     BitWidthChecker(),
     HotLoopChecker(),
     ObsDisciplineChecker(),

@@ -5,12 +5,27 @@ Subcommands::
     repro list                      # available experiments and workloads
     repro table1 [options]          # run one experiment and print its table
     repro all [options]             # run every experiment
+    repro predictors                # registered predictor kinds and traits
+    repro sweep --spec FILE [opts]  # run ad-hoc cells from a spec JSON file
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
     repro lint [--format json|text]   # run the domain lint passes
     repro bench [--bench-output F]    # measure sweep throughput -> JSON
     repro report [LEDGER]             # summarise a run ledger
     repro report --compare OLD NEW    # diff two bench payloads (CI gate)
+
+``repro sweep`` runs arbitrary ``(benchmark, engine-spec)`` cells through
+the full execution stack — registry-built predictors, stream kernel,
+process pool, persistent result cache — without writing an experiment
+module.  The spec file schema (see ``docs/PREDICTORS.md``)::
+
+    {"plugins": ["my_module"],            # optional: imported first
+     "benchmarks": ["perl", "gcc"],       # default benchmark list
+     "cells": [
+        {"preset": "tagless-gshare9"},    # named preset from configs.PRESETS
+        {"engine": {...EngineConfig spec...},
+         "benchmarks": ["go"],            # per-cell override
+         "label": "my row"}]}             # optional row label
 
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
 ``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
@@ -53,11 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(Chang, Hao & Patt, ISCA 1997)",
     )
     parser.add_argument("command",
-                        help="experiment name, 'all', 'list', 'trace', "
-                             "'dump', 'lint', 'bench', or 'report'")
+                        help="experiment name, 'all', 'list', 'predictors', "
+                             "'sweep', 'trace', 'dump', 'lint', 'bench', or "
+                             "'report'")
     parser.add_argument("workload", nargs="?",
                         help="workload name (for 'trace', 'dump', 'bench') "
                              "or ledger path (for 'report')")
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="spec JSON file (sweep command)")
     parser.add_argument("--head", type=int, default=80,
                         help="instructions to disassemble (dump command)")
     parser.add_argument("--trace-length", type=int, default=None,
@@ -112,13 +130,55 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     )
 
 
+def _experiment_description(name: str) -> str:
+    """First docstring line of an experiment module (empty if none)."""
+    import importlib
+
+    module = importlib.import_module(EXPERIMENT_MODULES[name])
+    doc = (module.__doc__ or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""
+
+
 def _cmd_list() -> int:
+    from repro.workloads import workload_spec
+
+    names = list(EXPERIMENT_MODULES)
+    width = max(len(name) for name in names)
     print("experiments:")
-    for name in EXPERIMENT_MODULES:
-        print(f"  {name}")
+    for name in names:
+        print(f"  {name:<{width}}  {_experiment_description(name)}")
+    workloads = workload_names(include_oo=True)
+    width = max(len(name) for name in workloads)
     print("workloads:")
-    for name in workload_names(include_oo=True):
-        print(f"  {name}")
+    for name in workloads:
+        print(f"  {name:<{width}}  {workload_spec(name).description}")
+    return 0
+
+
+def _cmd_predictors() -> int:
+    from repro.predictors import registrations
+
+    print("registered target-cache kinds:")
+    for reg in registrations():
+        traits = reg.traits
+        flags = ", ".join(
+            flag for flag, on in (
+                ("needs-history", traits.needs_history),
+                ("streams", traits.streams_supported),
+                ("oracle", traits.is_oracle),
+                ("deterministic", traits.deterministic),
+            ) if on
+        )
+        print(f"  {reg.kind}")
+        if traits.description:
+            print(f"      {traits.description}")
+        print(f"      traits: {flags}")
+        if traits.spec_fields:
+            print(f"      spec fields: {', '.join(traits.spec_fields)}")
+        if reg.spec_examples:
+            print(f"      e.g. {reg.spec_examples[0].label()}")
+        if not reg.module.startswith("repro"):
+            print(f"      plugin: {reg.module}")
     return 0
 
 
@@ -257,9 +317,96 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.common import FOCUS_BENCHMARKS, ExperimentTable
+    from repro.experiments.configs import preset
+    from repro.predictors import EngineConfig, load_plugins
+    from repro.workloads import workload_names
+
+    if not args.spec:
+        print("usage: repro sweep --spec FILE", file=sys.stderr)
+        return 2
+    path = Path(args.spec)
+    if not path.exists():
+        print(f"repro sweep: spec file {path} not found", file=sys.stderr)
+        return 2
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"repro sweep: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(document, dict) or not document.get("cells"):
+        print("repro sweep: spec file must be an object with a non-empty "
+              "'cells' list", file=sys.stderr)
+        return 2
+
+    load_plugins(document.get("plugins", []))
+    default_benchmarks = document.get("benchmarks", list(FOCUS_BENCHMARKS))
+    known = set(workload_names(include_oo=True))
+
+    # (row label, benchmark, config) per table row, in spec-file order.
+    rows_wanted = []
+    try:
+        for cell in document["cells"]:
+            if not isinstance(cell, dict):
+                raise ValueError(f"cell entries must be objects, got {cell!r}")
+            if ("preset" in cell) == ("engine" in cell):
+                raise ValueError(
+                    "each cell needs exactly one of 'preset' or 'engine': "
+                    f"{cell!r}"
+                )
+            if "preset" in cell:
+                config = preset(cell["preset"])
+                default_label = cell["preset"]
+            else:
+                config = EngineConfig.from_spec(cell["engine"])
+                default_label = (
+                    config.target_cache.label()
+                    if config.target_cache is not None else "btb-only"
+                )
+            label = cell.get("label", default_label)
+            benchmarks = cell.get("benchmarks", default_benchmarks)
+            for benchmark in benchmarks:
+                if benchmark not in known:
+                    raise ValueError(
+                        f"unknown benchmark {benchmark!r}; available: "
+                        f"{', '.join(sorted(known))}"
+                    )
+                rows_wanted.append((label, benchmark, config))
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+
+    ctx = _context(args)
+    ctx.predictions([(benchmark, config) for _, benchmark, config in rows_wanted])
+    rows = []
+    for label, benchmark, config in rows_wanted:
+        stats = ctx.prediction(benchmark, config)
+        rows.append((f"{benchmark} {label}", [
+            stats.indirect_mispred_rate,
+            stats.conditional_mispred_rate,
+            stats.overall_mispred_rate,
+        ]))
+    table = ExperimentTable(
+        experiment_id="sweep",
+        title=f"ad-hoc cells from {path.name}",
+        columns=["indirect", "conditional", "overall"],
+        rows=rows,
+        notes="misprediction rates; cells ran through the registry, the "
+              "stream kernel where supported, and the result cache",
+    )
+    print(table.format())
+    return 0
+
+
 def _run_simulation(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     ctx = _context(args)
     names = list(EXPERIMENT_MODULES) if args.command == "all" else [args.command]
     for name in names:
@@ -279,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "predictors":
+        return _cmd_predictors()
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "report":

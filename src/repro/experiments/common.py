@@ -86,14 +86,19 @@ class ExperimentTable:
 
     def format(self) -> str:
         label_width = max([len("")] + [len(label) for label, _ in self.rows]) + 2
-        col_width = max([12] + [len(c) + 2 for c in self.columns])
+        # Per-column widths: a long registry label (e.g. a parameterised
+        # cascaded(...) header) widens only its own column.
+        widths = [max(12, len(c) + 2) for c in self.columns]
         lines = [f"== {self.experiment_id}: {self.title}"]
-        header = " " * label_width + "".join(f"{c:>{col_width}}" for c in self.columns)
+        header = " " * label_width + "".join(
+            f"{c:>{w}}" for c, w in zip(self.columns, widths)
+        )
         lines.append(header)
         for label, values in self.rows:
             rendered = []
             for column_index, value in enumerate(values):
                 fmt = self._format_for(column_index)
+                col_width = widths[column_index]
                 if value is None or (isinstance(value, float) and np.isnan(value)):
                     rendered.append(f"{'-':>{col_width}}")
                 elif fmt == "percent":

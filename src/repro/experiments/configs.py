@@ -1,13 +1,18 @@
 """Canonical predictor configurations used across experiments.
 
 Thin constructors over :class:`~repro.predictors.engine.EngineConfig` so
-experiment modules read like the paper's table captions.
+experiment modules read like the paper's table captions, plus the named
+spec presets (:data:`PRESETS`) that ``repro sweep --spec`` files reference
+by name instead of spelling out a full engine spec.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 from repro.predictors import EngineConfig, HistoryConfig, HistorySource
 from repro.predictors.history import PathFilter
+from repro.predictors.spec import Spec
 from repro.predictors.target_cache import TaggedIndexing, TargetCacheConfig
 
 
@@ -34,7 +39,7 @@ def per_address_history(bits: int = 9, bits_per_target: int = 1,
 
 def tagless_engine(scheme: str = "gshare", history_bits: int = 9,
                    address_bits: int = 0,
-                   history: HistoryConfig = None) -> EngineConfig:
+                   history: Optional[HistoryConfig] = None) -> EngineConfig:
     """A 512-entry-class tagless target cache (2**(h+a) entries)."""
     if history is None:
         history = pattern_history(max(history_bits, 9))
@@ -49,7 +54,7 @@ def tagless_engine(scheme: str = "gshare", history_bits: int = 9,
 
 def tagged_engine(assoc: int, indexing: TaggedIndexing = TaggedIndexing.HISTORY_XOR,
                   entries: int = 256, history_bits: int = 9,
-                  history: HistoryConfig = None) -> EngineConfig:
+                  history: Optional[HistoryConfig] = None) -> EngineConfig:
     """A 256-entry tagged target cache (the paper's §4.3 configuration)."""
     if history is None:
         history = pattern_history(max(history_bits, 9))
@@ -78,3 +83,49 @@ def path_scheme_history(label: str, bits: int = 9, bits_per_target: int = 1,
         "call/ret": PathFilter.CALL_RET,
     }
     return path_history(filters[label], bits, bits_per_target, address_bit)
+
+
+#: Named engine-spec presets: partial :meth:`EngineConfig.from_spec` dicts.
+#: ``repro sweep --spec`` cells reference these by name (``"preset":
+#: "tagless-gshare9"``) instead of inlining a full engine spec, and
+#: ``tests/test_spec.py`` pins them equal to the constructor-built
+#: configurations above so a preset and its table cell can never drift.
+PRESETS: Dict[str, Spec] = {
+    "btb-only": {},
+    "tagless-gshare9": {
+        "target_cache": {"kind": "tagless", "scheme": "gshare",
+                         "history_bits": 9},
+        "history": {"source": "pattern", "bits": 9},
+    },
+    "tagged-4way": {
+        "target_cache": {"kind": "tagged", "entries": 256, "assoc": 4},
+        "history": {"source": "pattern", "bits": 9},
+    },
+    "cascaded-256": {
+        "target_cache": {"kind": "cascaded", "entries": 256, "assoc": 4},
+        "history": {"source": "pattern", "bits": 9},
+    },
+    "ittage-lite": {
+        "target_cache": {"kind": "ittage", "entries": 128},
+        "history": {"source": "path_global", "bits": 48,
+                    "path_filter": "control"},
+    },
+    "oracle": {"target_cache": {"kind": "oracle"}},
+    "last-target": {"target_cache": {"kind": "last_target"}},
+}
+
+
+def preset(name: str) -> EngineConfig:
+    """Build the :class:`EngineConfig` a preset names."""
+    try:
+        spec: Dict[str, Any] = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        ) from None
+    return EngineConfig.from_spec(spec)
+
+
+def preset_names() -> List[str]:
+    """Preset names in definition order (baseline first)."""
+    return list(PRESETS)

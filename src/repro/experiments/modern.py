@@ -86,11 +86,19 @@ def run(ctx: ExperimentContext) -> ExperimentTable:
             benchmark, ittage_engine()
         ).indirect_mispred_rate
         rows.append((benchmark, [base, classic, cascade, ittage]))
+    # Generation columns carry the registry labels of the configs actually
+    # simulated (history varies per benchmark; the cache geometry doesn't).
+    classic_config = tagless_engine().target_cache
+    cascade_config = _cascade_engine(pattern_history(9)).target_cache
+    ittage_config = ittage_engine().target_cache
+    assert classic_config is not None
+    assert cascade_config is not None and ittage_config is not None
     return ExperimentTable(
         experiment_id="Extension: lineage",
         title="BTB -> target cache -> cascade -> ITTAGE-lite "
               "(indirect misprediction)",
-        columns=["BTB", "target cache", "cascaded", "ITTAGE-lite"],
+        columns=["BTB", classic_config.label(), cascade_config.label(),
+                 ittage_config.label()],
         rows=rows,
         notes="each generation of the paper's lineage; ITTAGE-lite uses "
               "4 components x 128 entries with geometric history lengths",

@@ -21,7 +21,14 @@ This package implements every prediction structure the paper simulates:
   precomputes the per-branch history/routing streams that are identical
   across every target-cache configuration sharing a base config, then
   simulates each cell over just the target-cache-relevant subset
-  (bit-identical to :func:`~repro.predictors.engine.simulate`).
+  (bit-identical to :func:`~repro.predictors.engine.simulate`);
+* :mod:`~repro.predictors.registry` — the predictor registry: every
+  target-cache kind registers a factory, a :class:`PredictorTraits`
+  capability record, a label, and spec examples; plugins add kinds with
+  one :func:`register` call (see ``docs/PREDICTORS.md``);
+* :mod:`~repro.predictors.spec` — the lossless dataclass <-> JSON spec
+  codec behind ``to_spec``/``from_spec``, ``repro sweep --spec`` files,
+  and the result-cache fingerprint.
 """
 
 from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
@@ -50,6 +57,19 @@ from repro.predictors.indexing import (
     IndexScheme,
 )
 from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.registry import (
+    PredictorRegistration,
+    PredictorTraits,
+    load_plugins,
+    plugin_modules,
+    register,
+    registered_kinds,
+    registration,
+    registrations,
+    traits_for,
+    unregister,
+)
+from repro.predictors.spec import Spec, from_spec, to_spec
 from repro.predictors.streams import (
     BranchStreams,
     StreamConfig,
@@ -93,6 +113,19 @@ __all__ = [
     "GShareIndex",
     "IndexScheme",
     "ReturnAddressStack",
+    "PredictorRegistration",
+    "PredictorTraits",
+    "register",
+    "unregister",
+    "registration",
+    "registrations",
+    "registered_kinds",
+    "traits_for",
+    "plugin_modules",
+    "load_plugins",
+    "Spec",
+    "to_spec",
+    "from_spec",
     "BranchStreams",
     "StreamConfig",
     "build_streams",

@@ -32,11 +32,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 import numpy.typing as npt
 
+import repro.predictors.spec as spec_codec
 from repro.guest.isa import INSTRUCTION_BYTES, BranchKind
 from repro.predictors.btb import BranchTargetBuffer, UpdateStrategy
 from repro.predictors.direction import DirectionConfig, DirectionPredictor
@@ -47,11 +48,9 @@ from repro.predictors.history import (
     PerAddressPathHistory,
 )
 from repro.predictors.ras import ReturnAddressStack
-from repro.predictors.target_cache import (
-    OracleTargetPredictor,
-    TargetCacheConfig,
-    build_target_cache,
-)
+from repro.predictors.registry import registration
+from repro.predictors.spec import Spec
+from repro.predictors.target_cache import TargetCacheConfig, TargetPredictor
 from repro.trace.trace import Trace
 
 
@@ -104,6 +103,15 @@ class HistoryConfig:
             f"{self.bits_per_target}bpt@{self.address_bit})"
         )
 
+    def to_spec(self) -> Spec:
+        """Lossless JSON-ready rendering (see :mod:`repro.predictors.spec`)."""
+        return spec_codec.to_spec(self)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "HistoryConfig":
+        """Build a config from a (possibly partial) spec dict."""
+        return spec_codec.from_spec(cls, spec)
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -119,6 +127,20 @@ class EngineConfig:
     #: Ablation: route returns through the target cache instead of the RAS
     #: (the paper's footnote 1 argues this is unnecessary).
     target_cache_handles_returns: bool = False
+
+    def to_spec(self) -> Spec:
+        """Lossless JSON-ready rendering (see :mod:`repro.predictors.spec`).
+
+        The result-cache key (:func:`repro.runner.keys.cell_key`) is built
+        from this spec, and ``repro sweep --spec`` files contain exactly
+        this shape under each cell's ``"engine"`` key.
+        """
+        return spec_codec.to_spec(self)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "EngineConfig":
+        """Build a config from a (possibly partial) spec dict."""
+        return spec_codec.from_spec(cls, spec)
 
 
 @dataclass
@@ -198,11 +220,12 @@ class FetchEngine:
         )
         self.direction = DirectionPredictor(config.direction)
         self.ras = ReturnAddressStack(depth=config.ras_depth)
-        self.target_cache = (
-            build_target_cache(config.target_cache)
-            if config.target_cache is not None
-            else None
-        )
+        self.target_cache: Optional[TargetPredictor] = None
+        self._oracle = False
+        if config.target_cache is not None:
+            reg = registration(config.target_cache.kind)
+            self.target_cache = reg.factory(config.target_cache)
+            self._oracle = reg.traits.is_oracle
         history = config.history
         pattern_bits = max(config.direction.history_bits, history.bits)
         self.pattern_history = PatternHistoryRegister(pattern_bits)
@@ -217,7 +240,6 @@ class FetchEngine:
             bits_per_target=history.bits_per_target,
             address_bit=history.address_bit,
         )
-        self._oracle = isinstance(self.target_cache, OracleTargetPredictor)
         # Hot-loop precomputation: the set of kinds this engine routes to
         # the target cache never changes after construction, so the
         # per-branch dispatch is a frozenset membership instead of a chain
@@ -270,11 +292,13 @@ class FetchEngine:
                 popped = self.ras.pop()
                 popped_ras = True
                 predicted = popped if popped is not None else fallthrough
-            elif entry_kind in self._tc_kinds:
+            elif entry_kind in self._tc_kinds and (
+                cache := self.target_cache
+            ) is not None:
                 history_for_tc = self.target_cache_history(pc)
                 if self._oracle:
-                    self.target_cache.prime(target)  # type: ignore[union-attr]
-                guess = self.target_cache.predict(pc, history_for_tc)  # type: ignore[union-attr]
+                    cache.prime(target)
+                guess = cache.predict(pc, history_for_tc)
                 predicted = guess if guess is not None else entry.target
             else:
                 # Direct jumps/calls, and indirect ones without a target
@@ -292,13 +316,13 @@ class FetchEngine:
         self.path_history.update(kind, next_pc, redirected=taken)
         if kind in _TARGET_CACHE_KINDS:
             self.per_address_history.update(pc, target)
-        if kind in self._tc_kinds:
+        if kind in self._tc_kinds and (cache := self.target_cache) is not None:
             if entry is None:
                 # The BTB did not identify the jump, so no fetch-time access
                 # happened; index with the history as of now (identical in
                 # this in-order simulation).
                 history_for_tc = self.target_cache_history(pc)
-            self.target_cache.update(pc, history_for_tc, target)  # type: ignore[union-attr]
+            cache.update(pc, history_for_tc, target)
         if kind is BranchKind.RETURN and not popped_ras:
             # The BTB missed on this return, so fetch never consumed the
             # RAS; consume it now to keep call/return pairing balanced.

@@ -43,7 +43,8 @@ across workloads, configs, and hypothesis-generated ``EngineConfig``s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from itertools import repeat
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -62,7 +63,7 @@ from repro.predictors.engine import (
 )
 from repro.predictors.history import PathFilter
 from repro.predictors.ras import ReturnAddressStack
-from repro.predictors.target_cache import OracleTargetPredictor, build_target_cache
+from repro.predictors.registry import registration
 
 #: Width of the shared wide history registers.  Any cell needing more bits
 #: than this falls back to the reference engine (see streams_supported).
@@ -139,12 +140,17 @@ def streams_supported(config: EngineConfig) -> bool:
 
     The wide-register suffix trick needs every consumed history width to
     fit in :data:`WIDE_HISTORY_BITS`; anything wider goes through the
-    reference engine (the sweep runner falls back automatically).
+    reference engine (the sweep runner falls back automatically).  A
+    registered predictor kind can also opt out wholesale by declaring
+    ``streams_supported=False`` in its traits.
     """
     if config.direction.history_bits > WIDE_HISTORY_BITS:
         return False
-    if config.target_cache is not None and config.history.bits > WIDE_HISTORY_BITS:
-        return False
+    if config.target_cache is not None:
+        if not registration(config.target_cache.kind).traits.streams_supported:
+            return False
+        if config.history.bits > WIDE_HISTORY_BITS:
+            return False
     return True
 
 
@@ -512,18 +518,26 @@ def simulate_streamed(streams: BranchStreams, config: EngineConfig,
     else:
         fixed = streams.fixed_mispredicts_by_kind
         fixed_rows = streams.fixed_mispredict_rows
-        cache = build_target_cache(config.target_cache)
+        reg = registration(config.target_cache.kind)
+        cache = reg.factory(config.target_cache)
         predict = cache.predict
         update = cache.update
-        oracle = cache if isinstance(cache, OracleTargetPredictor) else None
-        histories = streams.tc_history_values(config)
+        prime = cache.prime if reg.traits.is_oracle else None
+        # A kind whose traits promise it ignores history gets a constant
+        # zero stream: no variant walk, identical call sequence to the
+        # engine (which also passes whatever value it captured — ignored).
+        histories: Iterable[int] = (
+            streams.tc_history_values(config)
+            if reg.traits.needs_history
+            else repeat(0)
+        )
         append_row = mispredict_rows.append
         for history, (pc, kind_value, target, next_pc, fallback, routed,
                       updates_cache, row) in zip(histories,
                                                  streams.subset_rows):
             if routed:
-                if oracle is not None:
-                    oracle.prime(target)
+                if prime is not None:
+                    prime(target)
                 guess = predict(pc, history)
                 predicted = fallback if guess is None else guess
                 if predicted != next_pc:

@@ -23,7 +23,7 @@ a declarative way to request any variant in the paper's design space.
 
 from repro.predictors.target_cache.base import TargetPredictor
 from repro.predictors.target_cache.cascaded import CascadedTargetCache
-from repro.predictors.target_cache.config import TargetCacheConfig, build_target_cache
+from repro.predictors.target_cache.config import TargetCacheConfig
 from repro.predictors.target_cache.ittage import ITTageLite, fold_history
 from repro.predictors.target_cache.oracle import (
     LastTargetPredictor,
@@ -31,6 +31,20 @@ from repro.predictors.target_cache.oracle import (
 )
 from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
 from repro.predictors.target_cache.tagless import TaglessTargetCache
+
+
+def build_target_cache(config: TargetCacheConfig) -> TargetPredictor:
+    """Instantiate the predictor a :class:`TargetCacheConfig` describes.
+
+    Thin wrapper over the registry lookup (kept here for backward
+    compatibility; the registry module is the real dispatch home).  The
+    lazy import breaks the package-init cycle: the registry itself imports
+    the concrete classes from this package's submodules.
+    """
+    from repro.predictors.registry import build_target_cache as _build
+
+    return _build(config)
+
 
 __all__ = [
     "TargetPredictor",

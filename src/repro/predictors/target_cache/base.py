@@ -26,5 +26,15 @@ class TargetPredictor(ABC):
     def update(self, pc: int, history: int, target: int) -> None:
         """Record the computed ``target`` for this (pc, history) pair."""
 
+    def prime(self, target: int) -> None:
+        """Reveal the actual ``target`` immediately before ``predict``.
+
+        Only meaningful for kinds whose registered
+        :class:`~repro.predictors.registry.PredictorTraits` set
+        ``is_oracle``; the fetch engine calls it right before the
+        fetch-time :meth:`predict` for exactly those kinds.  The default
+        is a no-op so ordinary predictors need not care.
+        """
+
     def reset(self) -> None:  # pragma: no cover - overridden where stateful
         """Clear all learned state (optional for subclasses)."""

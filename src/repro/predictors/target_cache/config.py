@@ -1,32 +1,30 @@
 """Declarative configuration covering the paper's target-cache design space.
 
 Experiments describe a target cache as data (so sweeps are dictionaries of
-configs, and results are reproducible from the config alone) and call
-:func:`build_target_cache` to instantiate it.
+configs, and results are reproducible from the config alone); the predictor
+registry (:mod:`repro.predictors.registry`) owns the mapping from ``kind``
+to concrete classes, labels, and capability traits.  The JSON-serialisable
+form of a config is its *spec* (:meth:`TargetCacheConfig.to_spec`), the
+interchange format the result cache fingerprints and ``repro sweep --spec``
+reads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
-from repro.predictors.indexing import parse_scheme
-from repro.predictors.target_cache.base import TargetPredictor
-from repro.predictors.target_cache.cascaded import CascadedTargetCache
-from repro.predictors.target_cache.ittage import ITTageLite
-from repro.predictors.target_cache.oracle import (
-    LastTargetPredictor,
-    OracleTargetPredictor,
-)
-from repro.predictors.target_cache.tagged import TaggedIndexing, TaggedTargetCache
-from repro.predictors.target_cache.tagless import TaglessTargetCache
+import repro.predictors.spec as spec_codec
+from repro.predictors.spec import Spec  # noqa: F401  (re-exported annotation)
+from repro.predictors.target_cache.tagged import TaggedIndexing
 
 
 @dataclass(frozen=True)
 class TargetCacheConfig:
     """One point in the target-cache design space.
 
-    ``kind`` selects the organisation:
+    ``kind`` names a registered predictor (see ``repro predictors`` for the
+    live list).  The built-in kinds:
 
     * ``"tagless"`` — ``scheme`` (gag/gas/gshare), ``history_bits``,
       ``address_bits`` define the index; table size is 2**(history_bits +
@@ -41,6 +39,9 @@ class TargetCacheConfig:
       (``history_bits`` caps the folded history; table geometry uses
       ``entries`` as the per-component size, assoc ignored).
     * ``"oracle"`` / ``"last_target"`` — bounding predictors.
+
+    Each registered kind declares which fields it consumes in its traits'
+    ``spec_fields``; the remaining fields are inert for that kind.
     """
 
     kind: str = "tagless"
@@ -56,50 +57,20 @@ class TargetCacheConfig:
     replacement: str = "lru"
 
     def label(self) -> str:
-        """Human-readable name used in experiment tables."""
-        if self.kind == "tagless":
-            if self.scheme == "gas":
-                return f"GAs({self.history_bits},{self.address_bits})"
-            if self.scheme == "gag":
-                return f"GAg({self.history_bits})"
-            return f"gshare({self.history_bits})"
-        if self.kind == "tagged":
-            return (
-                f"tagged({self.entries}e/{self.assoc}w/"
-                f"{self.indexing.value}/h{self.history_bits})"
-            )
-        return self.kind
+        """Human-readable name used in experiment tables.
 
+        Delegates to the registry so every kind — built-in or plugin —
+        renders a parameterised label, never the bare kind string.
+        """
+        from repro.predictors import registry
 
-def build_target_cache(config: TargetCacheConfig) -> TargetPredictor:
-    """Instantiate the predictor a :class:`TargetCacheConfig` describes."""
-    if config.kind == "tagless":
-        scheme = parse_scheme(config.scheme, config.history_bits, config.address_bits)
-        return TaglessTargetCache(scheme)
-    if config.kind == "tagged":
-        return TaggedTargetCache(
-            entries=config.entries,
-            assoc=config.assoc,
-            indexing=config.indexing,
-            history_bits=config.history_bits,
-            tag_bits=config.tag_bits,
-            replacement=config.replacement,
-        )
-    if config.kind == "cascaded":
-        stage2 = TaggedTargetCache(
-            entries=config.entries,
-            assoc=config.assoc,
-            indexing=config.indexing,
-            history_bits=config.history_bits,
-            tag_bits=config.tag_bits,
-            replacement=config.replacement,
-        )
-        return CascadedTargetCache(stage2)
-    if config.kind == "ittage":
-        table_bits = max(4, config.entries.bit_length() - 1)
-        return ITTageLite(table_bits=table_bits)
-    if config.kind == "oracle":
-        return OracleTargetPredictor()
-    if config.kind == "last_target":
-        return LastTargetPredictor()
-    raise ValueError(f"unknown target-cache kind {config.kind!r}")
+        return registry.predictor_label(self)
+
+    def to_spec(self) -> Spec:
+        """Lossless JSON-ready rendering (see :mod:`repro.predictors.spec`)."""
+        return spec_codec.to_spec(self)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "TargetCacheConfig":
+        """Build a config from a (possibly partial) spec dict."""
+        return spec_codec.from_spec(cls, spec)

@@ -30,6 +30,7 @@ from repro.runner.cache import (
     result_cache_enabled,
 )
 from repro.runner.keys import (
+    CELL_KEY_VERSION,
     cell_key,
     config_token,
     engine_code_fingerprint,
@@ -39,6 +40,7 @@ from repro.runner.keys import (
 from repro.runner.pool import SweepCell, default_jobs, run_cells
 
 __all__ = [
+    "CELL_KEY_VERSION",
     "ResultCache",
     "SweepCell",
     "cell_key",

@@ -131,9 +131,23 @@ def timing_code_fingerprint() -> str:
     return _source_fingerprint(_TIMING_CODE_MODULES)
 
 
+#: Version of the cell-key payload layout.  Bumped to 2 when the config
+#: side switched from the Python-class-qualified ``config_token`` rendering
+#: to the declarative ``EngineConfig.to_spec()`` form, so registry-era keys
+#: depend only on the spec (kind strings + field values), never on where
+#: the implementing classes live.  The bump is a deliberate one-time
+#: invalidation of pre-registry cached results (documented in
+#: ``docs/PREDICTORS.md``); results re-fill on the next run.
+CELL_KEY_VERSION = 2
+
+
 def cell_key(benchmark: str, config: EngineConfig, trace_length: int,
              seed: int) -> str:
     """Result-cache key for one ``(benchmark, config)`` sweep cell.
+
+    The config enters as its spec (:meth:`EngineConfig.to_spec`): two
+    configs collide exactly when their specs are equal, which is also the
+    condition under which the registry builds identical predictors.
 
     Deliberately independent of ``collect_mask``: a cached result that
     carries the mispredict mask satisfies both mask and no-mask requests,
@@ -142,9 +156,10 @@ def cell_key(benchmark: str, config: EngineConfig, trace_length: int,
     """
     payload = json.dumps(
         {
+            "version": CELL_KEY_VERSION,
             "trace": trace_fingerprint(benchmark, trace_length, seed),
             "engine_code": engine_code_fingerprint(),
-            "config": config_token(config),
+            "spec": config.to_spec(),
         },
         sort_keys=True, separators=(",", ":"),
     )

@@ -55,6 +55,8 @@ from repro.predictors import (
     StreamConfig,
     build_streams,
     decode_branches,
+    load_plugins,
+    plugin_modules,
     simulate,
     simulate_streamed,
     stream_signature,
@@ -105,7 +107,8 @@ _WORKER_STATE: Optional[Dict[str, Any]] = None
 
 def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
                  trace_cache_dir: Optional[str],
-                 ledger_path: Optional[str]) -> None:
+                 ledger_path: Optional[str],
+                 predictor_plugins: Tuple[str, ...] = ()) -> None:
     global _WORKER_STATE
     if trace_cache_dir is not None:
         # Propagate the parent's cache location even under a spawn start
@@ -115,6 +118,12 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
         # Replace any fork-inherited parent sink with a worker-role sink
         # writing this process's own ledger shard.
         attach_worker(ledger_path)
+    if predictor_plugins:
+        # Re-import the modules that registered third-party predictor
+        # kinds in the parent so the same kinds resolve here.  Under the
+        # fork start method the registrations are inherited anyway; this
+        # covers spawn, where the worker starts from a fresh interpreter.
+        load_plugins(predictor_plugins)
     _WORKER_STATE = {
         "trace_length": trace_length,
         "seed": seed,
@@ -346,7 +355,8 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
                 # files only; trace fingerprints key the cached contents.
                 initargs=(trace_length, seed, use_trace_cache,
                           os.environ.get("REPRO_TRACE_CACHE"),  # repro-lint: ignore[det-env-read]
-                          sink.ledger_path),
+                          sink.ledger_path,
+                          tuple(plugin_modules())),
             ) as pool:
                 try:
                     futures = [

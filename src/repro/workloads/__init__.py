@@ -39,6 +39,7 @@ from repro.workloads.registry import (
     get_trace,
     trace_fingerprint,
     workload_names,
+    workload_spec,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "get_trace",
     "trace_fingerprint",
     "workload_names",
+    "workload_spec",
 ]

@@ -181,6 +181,16 @@ def workload_names(include_oo: bool = False) -> List[str]:
     return names
 
 
+def workload_spec(name: str) -> WorkloadSpec:
+    """Registry entry for one workload (SPECint-alike or OO)."""
+    if name not in _ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(workload_names(include_oo=True))}"
+        )
+    return _ALL_WORKLOADS[name]
+
+
 def build_program(name: str, seed: Optional[int] = None) -> GuestProgram:
     """Assemble the named workload's guest program."""
     if name not in _ALL_WORKLOADS:

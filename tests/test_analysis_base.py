@@ -91,8 +91,8 @@ class TestRegistryAndReport:
     def test_registry_names_are_unique(self):
         names = [checker.name for checker in CHECKERS]
         assert len(names) == len(set(names))
-        assert set(names) == {"determinism", "cache-keys", "bitwidth",
-                              "hotloop", "obs"}
+        assert set(names) == {"determinism", "cache-keys", "registry",
+                              "bitwidth", "hotloop", "obs"}
 
     def test_only_filters_checkers(self):
         report = run_lint(only=["hotloop"])

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 
 from repro.cli import main
 
@@ -10,6 +11,29 @@ def test_list_command(capsys):
     assert "table4" in out
     assert "perl" in out
     assert "richards" in out
+
+
+def test_list_command_describes_entries(capsys):
+    """Every experiment and workload line carries a description."""
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for line in out.splitlines():
+        if line.startswith("  "):
+            name, _, description = line.strip().partition("  ")
+            assert description.strip(), f"no description for {name!r}"
+
+
+def test_predictors_command(capsys):
+    assert main(["predictors"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("tagless", "tagged", "cascaded", "ittage", "oracle",
+                 "last_target"):
+        assert kind in out
+    assert "traits:" in out
+    assert "needs-history" in out
+    assert "spec fields:" in out
+    # parameterised example labels, not bare kind strings
+    assert "ittage(4x" in out
 
 
 def test_unknown_experiment_fails(capsys):
@@ -46,3 +70,58 @@ def test_experiment_command_runs(capsys, monkeypatch, tmp_path):
     out = capsys.readouterr().out
     assert "Table 4" in out
     assert "gshare(9)" in out
+
+
+def test_sweep_requires_spec(capsys):
+    assert main(["sweep"]) == 2
+    assert "--spec" in capsys.readouterr().err
+
+
+def test_sweep_missing_spec_file(capsys, tmp_path):
+    assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_cells(capsys, tmp_path):
+    spec = tmp_path / "sweep.json"
+
+    spec.write_text("{not json")
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+    spec.write_text(json.dumps({"cells": []}))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "non-empty" in capsys.readouterr().err
+
+    spec.write_text(json.dumps(
+        {"cells": [{"preset": "oracle", "engine": {}}]}
+    ))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "exactly one" in capsys.readouterr().err
+
+    spec.write_text(json.dumps(
+        {"benchmarks": ["no_such_bench"], "cells": [{"preset": "oracle"}]}
+    ))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_sweep_runs_spec_cells(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "results"))
+    spec = tmp_path / "sweep.json"
+    spec.write_text(json.dumps({
+        "benchmarks": ["perl"],
+        "cells": [
+            {"preset": "btb-only"},
+            {"engine": {"target_cache": {"kind": "tagless"},
+                        "history": {"source": "pattern", "bits": 9}},
+             "label": "my-tagless"},
+        ],
+    }))
+    assert main(["sweep", "--spec", str(spec),
+                 "--trace-length", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "perl btb-only" in out
+    assert "perl my-tagless" in out
+    assert "indirect" in out and "overall" in out

@@ -23,6 +23,7 @@ _CASES = {
     "custom_workload.py": [],
     "predictor_lineage.py": ["perl", "40000"],
     "run_ledger.py": ["20000"],
+    "plugin_predictor.py": ["20000"],
 }
 
 

@@ -1,0 +1,201 @@
+"""The predictor registry: the single point of kind-string dispatch.
+
+Covers the built-in registrations (kinds, traits, factory classes,
+labels), the registration lifecycle (duplicate policy, unregister,
+plugin-module listing), and the end-to-end plugin contract: a kind
+registered outside ``repro.*`` runs through ``run_cells`` with a pool
+bit-identically to a serial run, with zero changes to the core.
+"""
+
+import pytest
+
+from repro.predictors import (
+    EngineConfig,
+    HistoryConfig,
+    PredictorTraits,
+    TargetCacheConfig,
+)
+from repro.predictors import registry
+from repro.predictors.target_cache import (
+    CascadedTargetCache,
+    ITTageLite,
+    LastTargetPredictor,
+    OracleTargetPredictor,
+    TaggedTargetCache,
+    TaglessTargetCache,
+    TargetPredictor,
+)
+
+
+BUILTIN_KINDS = ["cascaded", "ittage", "last_target", "oracle", "tagged",
+                 "tagless"]
+
+
+class TestBuiltins:
+    def test_registered_kinds(self):
+        assert registry.registered_kinds() == BUILTIN_KINDS
+
+    def test_registrations_sorted_and_complete(self):
+        regs = registry.registrations()
+        assert [r.kind for r in regs] == BUILTIN_KINDS
+        for reg in regs:
+            assert reg.traits.description
+            assert reg.spec_examples, f"{reg.kind}: no spec examples"
+            assert reg.module.startswith("repro.")
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("tagless", TaglessTargetCache),
+        ("tagged", TaggedTargetCache),
+        ("cascaded", CascadedTargetCache),
+        ("ittage", ITTageLite),
+        ("oracle", OracleTargetPredictor),
+        ("last_target", LastTargetPredictor),
+    ])
+    def test_factory_builds_the_advertised_class(self, kind, cls):
+        reg = registry.registration(kind)
+        built = registry.build_target_cache(TargetCacheConfig(kind=kind))
+        assert isinstance(built, cls)
+        assert cls in reg.provides
+
+    def test_traits(self):
+        assert registry.traits_for("oracle").is_oracle
+        assert not registry.traits_for("oracle").needs_history
+        assert not registry.traits_for("last_target").needs_history
+        for kind in ("tagless", "tagged", "cascaded", "ittage"):
+            traits = registry.traits_for(kind)
+            assert traits.needs_history, kind
+            assert not traits.is_oracle, kind
+            assert traits.streams_supported, kind
+            assert traits.deterministic, kind
+
+    def test_unknown_kind_message_lists_registered(self):
+        with pytest.raises(ValueError, match="bogus.*cascaded.*tagless"):
+            registry.registration("bogus")
+        with pytest.raises(ValueError, match="unknown target-cache kind"):
+            registry.build_target_cache(TargetCacheConfig(kind="bogus"))
+
+    def test_spec_examples_build_and_label(self):
+        for reg in registry.registrations():
+            for example in reg.spec_examples:
+                assert example.kind == reg.kind
+                predictor = reg.factory(example)
+                assert isinstance(predictor, TargetPredictor)
+                assert registry.predictor_label(example) != reg.kind
+
+
+class _CountingPredictor(TargetPredictor):
+    def predict(self, pc, history):
+        return None
+
+    def update(self, pc, history, target):
+        pass
+
+    def reset(self):
+        pass
+
+
+def _register_counting(kind="_test_counting"):
+    registry.register(
+        kind,
+        factory=lambda config: _CountingPredictor(),
+        traits=PredictorTraits(description="test-only stub"),
+        provides=(_CountingPredictor,),
+        spec_examples=(TargetCacheConfig(kind=kind),),
+    )
+    return kind
+
+
+class TestLifecycle:
+    def test_register_and_unregister(self):
+        kind = _register_counting()
+        try:
+            assert kind in registry.registered_kinds()
+            built = registry.build_target_cache(TargetCacheConfig(kind=kind))
+            assert isinstance(built, _CountingPredictor)
+            # no label function and no spec fields -> default bare render
+            assert registry.predictor_label(TargetCacheConfig(kind=kind)) == (
+                f"{kind}()"
+            )
+        finally:
+            registry.unregister(kind)
+        assert kind not in registry.registered_kinds()
+
+    def test_reregister_same_module_replaces(self):
+        kind = _register_counting()
+        try:
+            _register_counting(kind)  # same module: fine
+            assert registry.registered_kinds().count(kind) == 1
+        finally:
+            registry.unregister(kind)
+
+    def test_reregister_other_module_rejected(self):
+        kind = _register_counting()
+
+        def impostor_factory(config):
+            return _CountingPredictor()
+
+        impostor_factory.__module__ = "somewhere.else"
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register(
+                    kind,
+                    factory=impostor_factory,
+                    traits=PredictorTraits(description="impostor"),
+                    provides=(_CountingPredictor,),
+                )
+        finally:
+            registry.unregister(kind)
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            registry.unregister("_never_registered")
+
+    def test_builtins_cannot_be_shadowed_by_plugins(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                "tagless",
+                factory=lambda config: _CountingPredictor(),
+                traits=PredictorTraits(description="impostor"),
+                provides=(_CountingPredictor,),
+            )
+
+    def test_plugin_modules_excludes_builtins(self):
+        kind = _register_counting()
+        try:
+            modules = registry.plugin_modules()
+            assert __name__ in modules or "__main__" in modules
+            assert not any(m.startswith("repro") for m in modules)
+        finally:
+            registry.unregister(kind)
+
+    def test_load_plugins_warns_on_missing_module(self):
+        with pytest.warns(UserWarning, match="no_such_plugin_module"):
+            registry.load_plugins(["no_such_plugin_module"])
+
+    def test_load_plugins_skips_main(self):
+        registry.load_plugins(["__main__"])  # must not raise
+
+
+class TestPluginEndToEnd:
+    def test_plugin_kind_through_run_cells_pool(self):
+        """A plugin predictor runs through the pool bit-identically to
+        serial, with no core edits."""
+        from repro.runner import SweepCell, run_cells
+
+        kind = _register_counting("_test_pool_plugin")
+        try:
+            config = EngineConfig(
+                target_cache=TargetCacheConfig(kind=kind),
+                history=HistoryConfig(bits=9),
+            )
+            cells = [SweepCell("perl", config),
+                     SweepCell("perl", EngineConfig())]
+            serial = run_cells(cells, jobs=1, trace_length=20_000)
+            pooled = run_cells(cells, jobs=2, trace_length=20_000)
+            assert serial == pooled
+            # the stub never predicts: its indirect accuracy is the
+            # BTB-only baseline
+            assert (serial[0].indirect_mispred_rate
+                    == serial[1].indirect_mispred_rate)
+        finally:
+            registry.unregister(kind)

@@ -222,6 +222,23 @@ class TestConfigFactory:
         ).label() == "GAs(8,1)"
         assert "tagged" in TargetCacheConfig(kind="tagged").label()
 
+    def test_every_kind_has_parameterised_label(self):
+        """No kind may fall through to the bare kind string."""
+        for kind in ("tagless", "tagged", "cascaded", "ittage", "oracle",
+                     "last_target"):
+            label = TargetCacheConfig(kind=kind).label()
+            assert label != kind, f"{kind}: bare-kind label"
+        assert TargetCacheConfig(kind="cascaded").label() == (
+            "cascaded(256e/4w/history_xor/h9)"
+        )
+        assert TargetCacheConfig(kind="ittage", entries=128).label() == (
+            "ittage(4x128)"
+        )
+        assert TargetCacheConfig(kind="oracle").label() == "oracle(perfect)"
+        assert TargetCacheConfig(kind="last_target").label() == (
+            "last-target(unbounded)"
+        )
+
     def test_tagless_table_size_matches_paper(self):
         """The paper's tagless configurations are 512 entries."""
         cache = build_target_cache(TargetCacheConfig(kind="tagless"))
