@@ -1,0 +1,121 @@
+"""Speed guard for the vectorized columnar execution tier.
+
+The acceptance bar for :mod:`repro.predictors.vector`: on Table 4 cells
+(tagless schemes over pattern history) a warm vector cell must cost at
+least 10x less than a warm stream-kernel cell, because the per-branch
+Python loop over the target-cache subset has been replaced by a handful
+of whole-array numpy passes.  A second assertion keeps the tier above the
+reference engine by a wide margin, so ``run_cells``'s auto-selection can
+never pick a slower tier.
+
+The vector kernel's advantage grows with subset size (its cost is a few
+fixed array passes, the stream kernel's is ~0.4us per subset row), so the
+guard uses its own trace length — ``REPRO_VECTOR_BENCH_TRACE_LENGTH``,
+default 500000 — rather than ``REPRO_BENCH_TRACE_LENGTH`` (60000 in CI),
+which sits below the crossover where the 10x bar is meaningful.
+
+Timing is min-of-rounds (like ``test_stream_speed.py``) so scheduler
+noise cannot mask a regression.  Runs with plain pytest:
+``PYTHONPATH=src python -m pytest -q benchmarks/test_vector_speed.py``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import vector_sweep_configs
+from repro.predictors import (
+    build_streams,
+    decode_branches,
+    simulate,
+    simulate_many,
+    simulate_streamed,
+    simulate_vector,
+    stream_signature,
+    vector_supported,
+)
+from repro.workloads import get_trace
+
+WORKLOAD = "perl"
+ROUNDS = 5
+MIN_WARM_SPEEDUP = 10.0
+MIN_ENGINE_SPEEDUP = 100.0
+
+
+def _trace_length() -> int:
+    return int(os.environ.get("REPRO_VECTOR_BENCH_TRACE_LENGTH", "500000"))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace(WORKLOAD, n_instructions=_trace_length())
+
+
+@pytest.fixture(scope="module")
+def configs():
+    # The paper's Table 4 cells; all vectorizable, one stream signature.
+    return vector_sweep_configs()
+
+
+@pytest.fixture(scope="module")
+def streams(trace, configs):
+    decoded = decode_branches(trace)
+    return build_streams(decoded, stream_signature(configs[0]))
+
+
+def _min_time(func, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_vector_cell_is_10x_faster_than_streamed(streams, configs):
+    assert all(vector_supported(config) for config in configs)
+    # One untimed pass warms the memoised per-stream state (history
+    # variants, columnar views) for both tiers, as in a real sweep.
+    for config in configs:
+        simulate_streamed(streams, config)
+        simulate_vector(streams, config)
+
+    streamed = _min_time(
+        lambda: [simulate_streamed(streams, config) for config in configs]
+    )
+    vectored = _min_time(
+        lambda: [simulate_vector(streams, config) for config in configs]
+    )
+    speedup = streamed / vectored
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm vector sweep over {len(configs)} Table 4 cells took "
+        f"{vectored * 1e3:.2f}ms vs {streamed * 1e3:.2f}ms streamed "
+        f"({speedup:.1f}x < {MIN_WARM_SPEEDUP:.0f}x) — the vector tier "
+        "lost its whole-array per-cell kernel"
+    )
+
+
+def test_warm_vector_cell_dominates_reference_engine(trace, streams, configs):
+    for config in configs:
+        simulate_vector(streams, config)
+    reference = _min_time(lambda: simulate_many(trace, configs), rounds=2)
+    vectored = _min_time(
+        lambda: [simulate_vector(streams, config) for config in configs]
+    )
+    speedup = reference / vectored
+    assert speedup >= MIN_ENGINE_SPEEDUP, (
+        f"vector sweep took {vectored * 1e3:.2f}ms vs {reference:.3f}s "
+        f"reference ({speedup:.1f}x < {MIN_ENGINE_SPEEDUP:.0f}x)"
+    )
+
+
+def test_vector_results_match_reference(trace, streams, configs):
+    # the guard is worthless if the fast path drifts numerically
+    decoded = decode_branches(trace)
+    for config in configs:
+        reference = simulate(trace, config, decoded=decoded)
+        got = simulate_vector(streams, config)
+        assert got.branches == reference.branches
+        assert got.branch_mispredictions == reference.branch_mispredictions
+        assert got.btb_hits == reference.btb_hits

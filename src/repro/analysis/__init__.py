@@ -23,6 +23,7 @@ from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.hotloop import HotLoopChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.report import LintReport, describe_checkers
+from repro.analysis.vector_hygiene import VectorHygieneChecker
 
 __all__ = [
     "SUPPRESS_ALL",
@@ -36,6 +37,7 @@ __all__ = [
     "DeterminismChecker",
     "HotLoopChecker",
     "ObsDisciplineChecker",
+    "VectorHygieneChecker",
     "LintReport",
     "CHECKERS",
     "describe_checkers",
@@ -50,6 +52,7 @@ CHECKERS: List[Checker] = [
     BitWidthChecker(),
     HotLoopChecker(),
     ObsDisciplineChecker(),
+    VectorHygieneChecker(),
 ]
 
 

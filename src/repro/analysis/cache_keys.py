@@ -59,7 +59,11 @@ from repro.analysis.base import Finding, Project
 #: The stream kernel is a root of its own: it must produce bit-identical
 #: results to the reference engine, so an edit to it must invalidate
 #: cached results exactly as an engine edit does.
-PREDICTION_ROOTS = ("repro.predictors.engine", "repro.predictors.streams")
+PREDICTION_ROOTS = (
+    "repro.predictors.engine",
+    "repro.predictors.streams",
+    "repro.predictors.vector",
+)
 #: Kernel roots whose transitive imports the timing key must cover.
 TIMING_ROOTS = (
     "repro.pipeline.timing",

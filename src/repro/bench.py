@@ -29,11 +29,14 @@ import numpy as np
 from repro.obs import get_sink
 from repro.predictors import (
     EngineConfig,
+    HistoryConfig,
+    HistorySource,
     TargetCacheConfig,
     build_streams,
     decode_branches,
     simulate_many,
     simulate_streamed,
+    simulate_vector,
     stream_signature,
 )
 from repro.workloads import get_trace
@@ -77,6 +80,29 @@ def sweep_configs(n_configs: int = DEFAULT_N_CONFIGS) -> List[EngineConfig]:
     return configs
 
 
+def vector_sweep_configs() -> List[EngineConfig]:
+    """The paper's Table 4 cells: tagless schemes over pattern history.
+
+    Every cell is vectorizable and shares one stream signature with the
+    tagged sweep of :func:`sweep_configs`, so the per-tier breakdown
+    (engine vs streamed vs vector) measures pure kernel cost on identical
+    streams.
+    """
+    pattern = HistoryConfig(source=HistorySource.PATTERN, bits=9)
+    return [
+        EngineConfig(
+            target_cache=TargetCacheConfig(
+                kind="tagless", scheme=scheme,
+                history_bits=history_bits, address_bits=address_bits,
+            ),
+            history=pattern,
+        )
+        for scheme, history_bits, address_bits in (
+            ("gag", 9, 0), ("gas", 8, 1), ("gas", 7, 2), ("gshare", 9, 0),
+        )
+    ]
+
+
 def _min_time(func: Callable[[], object], rounds: int) -> float:
     best = float("inf")
     for _ in range(rounds):
@@ -115,6 +141,30 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
     with sink.span("bench.warm", workload=workload, rounds=rounds):
         warm_total = _min_time(
             lambda: [simulate_streamed(streams, config) for config in configs],
+            rounds,
+        )
+
+    # Per-tier breakdown on the Table 4 cells (all vectorizable; same
+    # stream signature as the tagged sweep, so the streams are shared).
+    # Each tier is run once untimed first so memoised per-stream state
+    # (history variants, columnar views) is warm, as in a real sweep.
+    tier_configs = vector_sweep_configs()
+    n_tiers = len(tier_configs)
+    with sink.span("bench.tiers", workload=workload, rounds=rounds):
+        tier_engine = _min_time(
+            lambda: simulate_many(trace, tier_configs), rounds
+        )
+        for config in tier_configs:
+            simulate_streamed(streams, config)
+            simulate_vector(streams, config)
+        tier_streams = _min_time(
+            lambda: [simulate_streamed(streams, config)
+                     for config in tier_configs],
+            rounds,
+        )
+        tier_vector = _min_time(
+            lambda: [simulate_vector(streams, config)
+                     for config in tier_configs],
             rounds,
         )
 
@@ -160,6 +210,19 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
             "per_cell": reference_total / warm_total,
             "including_build": reference_total / (build_time + warm_total),
         },
+        # Per-tier cell timings on the Table 4 (tagless) cells: the same
+        # cells through all three execution tiers, warm, shared streams.
+        "tiers": {
+            "n_configs": n_tiers,
+            "configs": "table4-tagless",
+            "engine_per_cell_s": tier_engine / n_tiers,
+            "streams_per_cell_s": tier_streams / n_tiers,
+            "vector_per_cell_s": tier_vector / n_tiers,
+            "speedup": {
+                "vector_vs_streams": tier_streams / tier_vector,
+                "vector_vs_engine": tier_engine / tier_vector,
+            },
+        },
     }
     return payload
 
@@ -186,7 +249,7 @@ def format_summary(payload: Dict[str, Any]) -> str:
     reference = payload["reference"]
     kernel = payload["stream_kernel"]
     speedup = payload["speedup"]
-    return "\n".join([
+    lines = [
         f"bench: {params['workload']} x {params['n_configs']} cells, "
         f"{params['trace_length']} instructions "
         f"(min of {params['rounds']} rounds)",
@@ -197,4 +260,17 @@ def format_summary(payload: Dict[str, Any]) -> str:
         f"({kernel['warm_per_cell_s'] * 1e3:.1f} ms/cell)",
         f"  speedup: {speedup['per_cell']:.1f}x per cell, "
         f"{speedup['including_build']:.1f}x including build",
-    ])
+    ]
+    tiers = payload.get("tiers")
+    if tiers:  # older payloads predate the per-tier breakdown
+        tier_speedup = tiers["speedup"]
+        lines += [
+            f"  tiers ({tiers['configs']}, {tiers['n_configs']} cells, "
+            "warm ms/cell): "
+            f"engine {tiers['engine_per_cell_s'] * 1e3:.2f}, "
+            f"streams {tiers['streams_per_cell_s'] * 1e3:.2f}, "
+            f"vector {tiers['vector_per_cell_s'] * 1e3:.3f}",
+            f"  vector speedup: {tier_speedup['vector_vs_streams']:.1f}x "
+            f"vs streams, {tier_speedup['vector_vs_engine']:.1f}x vs engine",
+        ]
+    return "\n".join(lines)

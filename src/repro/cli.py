@@ -30,7 +30,9 @@ module.  The spec file schema (see ``docs/PREDICTORS.md``)::
 Options: ``--trace-length N`` (default 400000, or REPRO_TRACE_LENGTH),
 ``--seed S``, ``--no-cache``, ``--jobs N`` (or REPRO_JOBS; worker
 processes for experiment sweeps), ``--no-result-cache`` (bypass the
-persistent prediction-result cache, see :mod:`repro.runner`).  ``bench``
+persistent prediction-result cache, see :mod:`repro.runner`), and
+``--backend {auto,engine,streams,vector}`` (cap the per-cell execution
+tier; every tier is bit-identical, so this only changes speed).  ``bench``
 writes the machine-readable baseline described in :mod:`repro.bench`
 (default ``BENCH_sweep.json``; see ``--bench-output``/``--rounds``) and
 appends every payload to a history file (``--bench-history``).
@@ -88,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_JOBS, else 1)")
     parser.add_argument("--no-result-cache", action="store_true",
                         help="bypass the persistent prediction-result cache")
+    parser.add_argument("--backend",
+                        choices=("auto", "engine", "streams", "vector"),
+                        default="auto",
+                        help="cap the per-cell execution tier (auto picks "
+                             "the fastest supported: vector > streams > "
+                             "engine; results are bit-identical)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="lint output format (lint command)")
     parser.add_argument("--only", action="append", default=None,
@@ -127,6 +135,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         use_trace_cache=not args.no_cache,
         jobs=args.jobs,
         use_result_cache=not args.no_result_cache,
+        backend=args.backend,
     )
 
 
@@ -164,7 +173,6 @@ def _cmd_predictors() -> int:
         flags = ", ".join(
             flag for flag, on in (
                 ("needs-history", traits.needs_history),
-                ("streams", traits.streams_supported),
                 ("oracle", traits.is_oracle),
                 ("deterministic", traits.deterministic),
             ) if on
@@ -173,6 +181,7 @@ def _cmd_predictors() -> int:
         if traits.description:
             print(f"      {traits.description}")
         print(f"      traits: {flags}")
+        print(f"      backends: {' > '.join(traits.backends())}")
         if traits.spec_fields:
             print(f"      spec fields: {', '.join(traits.spec_fields)}")
         if reg.spec_examples:

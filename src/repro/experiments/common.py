@@ -25,6 +25,7 @@ from repro.obs import get_sink
 from repro.pipeline import MachineConfig, memory_penalties, run_timing
 from repro.predictors import EngineConfig, PredictionStats
 from repro.runner import (
+    BACKENDS,
     ResultCache,
     SweepCell,
     default_jobs,
@@ -127,18 +128,26 @@ class ExperimentContext:
     ``jobs`` sets the process-pool width for batched sweeps (default: the
     ``REPRO_JOBS`` environment variable, else 1); ``use_result_cache``
     controls the persistent on-disk result cache (default: on, unless
-    ``REPRO_RESULT_CACHE=0``).
+    ``REPRO_RESULT_CACHE=0``); ``backend`` caps the per-cell execution
+    tier (``--backend`` on the CLI; every tier is bit-identical).
     """
 
     def __init__(self, trace_length: Optional[int] = None, seed: int = 1997,
                  machine: Optional[MachineConfig] = None,
                  use_trace_cache: bool = True,
                  jobs: Optional[int] = None,
-                 use_result_cache: bool = True) -> None:
+                 use_result_cache: bool = True,
+                 backend: str = "auto") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(BACKENDS)}"
+            )
         self.trace_length = trace_length or default_trace_length()
         self.seed = seed
         self.machine = machine or MachineConfig()
         self.use_trace_cache = use_trace_cache
+        self.backend = backend
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self._result_cache = ResultCache.from_env() if use_result_cache else None
         self._traces: Dict[str, Trace] = {}
@@ -192,6 +201,7 @@ class ExperimentContext:
                     use_trace_cache=self.use_trace_cache,
                     result_cache=self._result_cache,
                     trace_provider=self.trace,
+                    backend=self.backend,
                 )
             for (benchmark, config), stats in zip(missing, computed):
                 self._predictions[(benchmark, config)] = stats

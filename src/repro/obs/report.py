@@ -25,15 +25,25 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 #: Bench metrics where *lower is better*; regressions are increases.
+#: Metrics absent from a payload (older schema) are skipped, so payloads
+#: from before the per-tier breakdown stay comparable.
 _BENCH_TIME_METRICS = (
     "reference.per_cell_s",
     "stream_kernel.build_s",
     "stream_kernel.warm_per_cell_s",
+    "tiers.engine_per_cell_s",
+    "tiers.streams_per_cell_s",
+    "tiers.vector_per_cell_s",
 )
 
 #: Bench metrics where *higher is better*; reported, never gating (they
 #: are ratios of the timed metrics above, so gating them would double-count).
-_BENCH_INFO_METRICS = ("speedup.per_cell", "speedup.including_build")
+_BENCH_INFO_METRICS = (
+    "speedup.per_cell",
+    "speedup.including_build",
+    "tiers.speedup.vector_vs_streams",
+    "tiers.speedup.vector_vs_engine",
+)
 
 
 def read_ledger(path: Union[str, Path]) -> List[Dict[str, Any]]:

@@ -22,6 +22,11 @@ This package implements every prediction structure the paper simulates:
   across every target-cache configuration sharing a base config, then
   simulates each cell over just the target-cache-relevant subset
   (bit-identical to :func:`~repro.predictors.engine.simulate`);
+* :mod:`~repro.predictors.vector` — the vectorized columnar tier above the
+  stream kernel: replays the tagless/gshare family (and the oracle /
+  last-target bounding predictors) as whole-array numpy passes over the
+  same :class:`BranchStreams`, with no per-branch Python loop — still
+  bit-identical to the reference engine;
 * :mod:`~repro.predictors.registry` — the predictor registry: every
   target-cache kind registers a factory, a :class:`PredictorTraits`
   capability record, a label, and spec examples; plugins add kinds with
@@ -88,6 +93,11 @@ from repro.predictors.target_cache import (
     TargetPredictor,
     build_target_cache,
 )
+from repro.predictors.vector import (
+    simulate_many_vector,
+    simulate_vector,
+    vector_supported,
+)
 
 __all__ = [
     "BranchTargetBuffer",
@@ -133,6 +143,9 @@ __all__ = [
     "simulate_streamed",
     "stream_signature",
     "streams_supported",
+    "simulate_many_vector",
+    "simulate_vector",
+    "vector_supported",
     "OracleTargetPredictor",
     "TaggedIndexing",
     "TaggedTargetCache",

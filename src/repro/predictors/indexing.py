@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+import numpy.typing as npt
+
 from repro.guest.isa import INSTRUCTION_BYTES
 
 _ADDR_SHIFT = INSTRUCTION_BYTES.bit_length() - 1  # drop alignment zeros
@@ -34,6 +37,23 @@ class IndexScheme(ABC):
     @abstractmethod
     def index(self, pc: int, history: int) -> int:
         """Return the table index for this (address, history) pair."""
+
+    def index_array(self, pcs: "npt.NDArray[np.int64]",
+                    histories: "npt.NDArray[np.uint64]"
+                    ) -> "npt.NDArray[np.int64]":
+        """Whole-array :meth:`index` over parallel pc/history columns.
+
+        Must be element-wise identical to per-row :meth:`index` calls —
+        the vector execution tier (:mod:`repro.predictors.vector`)
+        depends on it.  This base implementation replays the scalar
+        method, so scheme subclasses stay correct by default; the
+        built-in schemes override it with closed-form numpy expressions.
+        """
+        return np.fromiter(
+            (self.index(int(pc), int(history))
+             for pc, history in zip(pcs.tolist(), histories.tolist())),
+            dtype=np.int64, count=len(pcs),
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(table_size={self.table_size})"
@@ -51,6 +71,11 @@ class GAgIndex(IndexScheme):
 
     def index(self, pc: int, history: int) -> int:
         return history & self._mask
+
+    def index_array(self, pcs: "npt.NDArray[np.int64]",
+                    histories: "npt.NDArray[np.uint64]"
+                    ) -> "npt.NDArray[np.int64]":
+        return (histories & np.uint64(self._mask)).astype(np.int64)
 
 
 class GAsIndex(IndexScheme):
@@ -72,6 +97,13 @@ class GAsIndex(IndexScheme):
             history & self._hist_mask
         )
 
+    def index_array(self, pcs: "npt.NDArray[np.int64]",
+                    histories: "npt.NDArray[np.uint64]"
+                    ) -> "npt.NDArray[np.int64]":
+        words = (pcs >> _ADDR_SHIFT) & self._addr_mask
+        low = (histories & np.uint64(self._hist_mask)).astype(np.int64)
+        return (words << self.history_bits) | low
+
 
 class GShareIndex(IndexScheme):
     """XOR indexing: ``index = (pc_word ^ history) mod 2**history_bits``."""
@@ -85,6 +117,14 @@ class GShareIndex(IndexScheme):
 
     def index(self, pc: int, history: int) -> int:
         return ((pc >> _ADDR_SHIFT) ^ history) & self._mask
+
+    def index_array(self, pcs: "npt.NDArray[np.int64]",
+                    histories: "npt.NDArray[np.uint64]"
+                    ) -> "npt.NDArray[np.int64]":
+        # XOR in uint64 so wide histories never overflow; the mask keeps
+        # the result small enough for a lossless cast back to int64.
+        words = (pcs.astype(np.uint64) >> np.uint64(_ADDR_SHIFT))
+        return ((words ^ histories) & np.uint64(self._mask)).astype(np.int64)
 
 
 def parse_scheme(name: str, history_bits: int, address_bits: int = 0) -> IndexScheme:

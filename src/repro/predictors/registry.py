@@ -73,6 +73,18 @@ class PredictorTraits:
         drive this predictor.  Any predictor whose behaviour is a pure
         function of its own ``predict``/``update``/``prime`` call sequence
         qualifies; set ``False`` to force the reference engine.
+    ``vectorizable``
+        Whether :func:`~repro.predictors.vector.simulate_vector` can
+        replay this predictor as whole-array numpy passes.  This is a much
+        stronger contract than ``streams_supported``: the kind's
+        ``predict`` must be exactly "the target most recently stored at
+        the same table index, else a structural miss" for an index that is
+        a pure function of ``(pc, history)`` (the tagless family), an
+        oracle primed with the actual target, or an unbounded per-pc
+        last-target table.  Stateful replacement policies (tagged/LRU,
+        cascaded, ITTAGE) must leave this ``False``; the sweep runner
+        falls back to the stream kernel for them.  Defaults to ``False``
+        so plugin kinds opt in deliberately.
     ``is_oracle``
         Oracle-style: the engine calls
         :meth:`~repro.predictors.target_cache.base.TargetPredictor.prime`
@@ -94,9 +106,19 @@ class PredictorTraits:
     description: str = ""
     needs_history: bool = True
     streams_supported: bool = True
+    vectorizable: bool = False
     is_oracle: bool = False
     deterministic: bool = True
     spec_fields: Tuple[str, ...] = ()
+
+    def backends(self) -> Tuple[str, ...]:
+        """Execution tiers that can serve this kind, fastest first."""
+        tiers: Tuple[str, ...] = ("engine",)
+        if self.streams_supported:
+            tiers = ("streams",) + tiers
+            if self.vectorizable:
+                tiers = ("vector",) + tiers
+        return tiers
 
 
 @dataclass(frozen=True)
@@ -330,6 +352,9 @@ register(
     traits=PredictorTraits(
         description="direct-mapped history-indexed table, no tags "
                     "(paper §3.2 Figure 10)",
+        # last-write-per-index semantics: the vector tier replays the
+        # whole table as one grouped shift-by-one pass (see vector.py)
+        vectorizable=True,
         spec_fields=("scheme", "history_bits", "address_bits"),
     ),
     provides=(TaglessTargetCache,),
@@ -401,6 +426,9 @@ register(
         description="perfect prediction (primed with the actual target); "
                     "the execution-time ceiling",
         needs_history=False,
+        # primed predict always returns the actual target: the vector
+        # tier needs no table replay at all
+        vectorizable=True,
         is_oracle=True,
     ),
     provides=(OracleTargetPredictor,),
@@ -415,6 +443,9 @@ register(
         description="unbounded per-pc last-target table (an infinite, "
                     "conflict-free BTB)",
         needs_history=False,
+        # an unbounded last-write-per-pc table: the same grouped
+        # shift-by-one recurrence with the pc itself as the index
+        vectorizable=True,
     ),
     provides=(LastTargetPredictor,),
     label=lambda config: "last-target(unbounded)",

@@ -107,6 +107,28 @@ _SubsetRow = Tuple[int, int, int, int, int, bool, bool, int]
 
 
 @dataclass(frozen=True)
+class SubsetColumns:
+    """The target-cache subset as parallel numpy columns.
+
+    The columnar twin of ``BranchStreams.subset_rows``: one array per
+    field, aligned by position, shared read-only by every vector-tier
+    cell (:mod:`repro.predictors.vector`).  Built lazily because the
+    scalar stream kernel never needs it.
+    """
+
+    pcs: "npt.NDArray[np.int64]"
+    kind_values: "npt.NDArray[np.int64]"
+    targets: "npt.NDArray[np.int64]"
+    next_pcs: "npt.NDArray[np.int64]"
+    fallbacks: "npt.NDArray[np.int64]"
+    routed: "npt.NDArray[np.bool_]"
+    updates: "npt.NDArray[np.bool_]"
+    rows: "npt.NDArray[np.int64]"
+    #: 0..n-1, cached so per-cell kernels skip the arange
+    positions: "npt.NDArray[np.int64]"
+
+
+@dataclass(frozen=True)
 class StreamConfig:
     """The stream-relevant projection of an :class:`EngineConfig`.
 
@@ -199,6 +221,10 @@ class BranchStreams:
         self.subset_rows = subset_rows
         self._variants: Dict[Tuple[object, ...], "npt.NDArray[np.uint64]"] = {}
         self._masked: Dict[Tuple[object, ...], List[int]] = {}
+        self._masked_arrays: Dict[
+            Tuple[object, ...], "npt.NDArray[np.uint64]"
+        ] = {}
+        self._columns: Optional[SubsetColumns] = None
 
     # ------------------------------------------------------------------
     @property
@@ -206,14 +232,30 @@ class BranchStreams:
         return len(self.subset_rows)
 
     # ------------------------------------------------------------------
-    def tc_history_values(self, config: EngineConfig) -> List[int]:
-        """History value per subset row, exactly as the engine computes it.
+    def columns(self) -> SubsetColumns:
+        """The subset rows as parallel numpy columns (lazily memoised)."""
+        cached = self._columns
+        if cached is None:
+            matrix = np.array(self.subset_rows, dtype=np.int64)
+            if matrix.size == 0:
+                matrix = matrix.reshape(0, 8)  # the 8 _SubsetRow fields
+            cached = SubsetColumns(
+                pcs=matrix[:, 0].copy(),
+                kind_values=matrix[:, 1].copy(),
+                targets=matrix[:, 2].copy(),
+                next_pcs=matrix[:, 3].copy(),
+                fallbacks=matrix[:, 4].copy(),
+                routed=matrix[:, 5].astype(bool),
+                updates=matrix[:, 6].astype(bool),
+                rows=matrix[:, 7].copy(),
+                positions=np.arange(len(matrix), dtype=np.int64),
+            )
+            self._columns = cached
+        return cached
 
-        Selects the variant named by ``config.history``, applies the
-        PRE/POST/ZERO snapshot selection recorded at build time, and masks
-        the wide register down to the width the engine's registers would
-        have under ``config`` (the suffix property makes the mask exact).
-        """
+    # ------------------------------------------------------------------
+    def _history_key(self, config: EngineConfig) -> Tuple[Tuple[object, ...], int]:
+        """(variant key, consumed width) pair for ``config.history``."""
         history = config.history
         source = history.source
         if source is HistorySource.PATTERN:
@@ -231,13 +273,41 @@ class BranchStreams:
                 f"history width {width} exceeds the {WIDE_HISTORY_BITS}-bit "
                 "stream registers; use the reference simulate"
             )
+        return key, width
+
+    # ------------------------------------------------------------------
+    def tc_history_values(self, config: EngineConfig) -> List[int]:
+        """History value per subset row, exactly as the engine computes it.
+
+        Selects the variant named by ``config.history``, applies the
+        PRE/POST/ZERO snapshot selection recorded at build time, and masks
+        the wide register down to the width the engine's registers would
+        have under ``config`` (the suffix property makes the mask exact).
+        """
+        key, width = self._history_key(config)
         masked_key = key + (width,)
         cached = self._masked.get(masked_key)
         if cached is None:
+            cached = self.tc_history_array(config).tolist()
+            self._masked[masked_key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def tc_history_array(self, config: EngineConfig) -> "npt.NDArray[np.uint64]":
+        """Array form of :meth:`tc_history_values` for the vector tier.
+
+        Same variant selection and width masking, but kept as a uint64
+        column (memoised separately) so whole-array index schemes can
+        consume it without a Python-level materialisation.
+        """
+        key, width = self._history_key(config)
+        masked_key = key + (width,)
+        cached = self._masked_arrays.get(masked_key)
+        if cached is None:
             wide = self._variant(key)
             width_mask = (1 << width) - 1
-            cached = (wide & np.uint64(width_mask)).tolist()
-            self._masked[masked_key] = cached
+            cached = wide & np.uint64(width_mask)
+            self._masked_arrays[masked_key] = cached
         return cached
 
     # ------------------------------------------------------------------

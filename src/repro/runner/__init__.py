@@ -37,9 +37,10 @@ from repro.runner.keys import (
     timing_code_fingerprint,
     timing_key,
 )
-from repro.runner.pool import SweepCell, default_jobs, run_cells
+from repro.runner.pool import BACKENDS, SweepCell, default_jobs, run_cells
 
 __all__ = [
+    "BACKENDS",
     "CELL_KEY_VERSION",
     "ResultCache",
     "SweepCell",

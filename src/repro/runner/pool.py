@@ -13,12 +13,18 @@ worker processes.  The design goals, in order:
 3. **Pay for the per-branch walk once per (trace, base config)**: cells are
    grouped by :func:`~repro.predictors.streams.stream_signature`, each
    worker memoises the :class:`~repro.predictors.streams.BranchStreams`
-   for the signatures it sees, and every supported cell runs through the
-   stream kernel (:func:`~repro.predictors.streams.simulate_streamed`) —
-   bit-identical to the reference engine, but per-cell cost proportional to
-   the target-cache-relevant subset of branches.  Cells the stream kernel
-   cannot represent (history wider than 64 bits) fall back to
-   :func:`~repro.predictors.engine.simulate` per cell.
+   for the signatures it sees, and every cell runs through the fastest
+   execution tier its config supports — the vectorized columnar kernel
+   (:func:`~repro.predictors.vector.simulate_vector`) for kinds whose
+   registered traits declare ``vectorizable``, the stream kernel
+   (:func:`~repro.predictors.streams.simulate_streamed`) otherwise — both
+   bit-identical to the reference engine, with per-cell cost proportional
+   to the target-cache-relevant subset of branches.  Cells the stream
+   kernel cannot represent (history wider than 64 bits) fall back to
+   :func:`~repro.predictors.engine.simulate` per cell.  ``backend`` caps
+   the ladder (``--backend`` on the CLI): ``auto``/``vector`` pick the
+   fastest supported tier per cell, ``streams`` and ``engine`` force the
+   lower tiers; unsupported cells always degrade downward, never error.
 4. **Near-free warm re-runs**: cells whose
    :func:`~repro.runner.keys.cell_key` is already in the persistent
    :class:`~repro.runner.cache.ResultCache` never reach a worker.
@@ -59,13 +65,37 @@ from repro.predictors import (
     plugin_modules,
     simulate,
     simulate_streamed,
+    simulate_vector,
     stream_signature,
     streams_supported,
+    vector_supported,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.keys import cell_key
 from repro.trace.trace import Trace
 from repro.workloads import get_trace
+
+
+#: Execution-tier caps accepted by :func:`run_cells` (and ``--backend``).
+BACKENDS = ("auto", "engine", "streams", "vector")
+
+
+def _cell_backend(config: EngineConfig, backend: str) -> str:
+    """Resolve the execution tier serving one cell under a backend cap.
+
+    ``backend`` caps the *maximum* tier; a cell whose config a tier cannot
+    represent degrades to the next one down (vector -> streams -> engine),
+    so results never depend on the cap — only speed does.  ``auto`` and
+    ``vector`` behave identically: the cap is already the top of the
+    ladder.
+    """
+    if backend == "engine":
+        return "engine"
+    if backend != "streams" and vector_supported(config):
+        return "vector"
+    if streams_supported(config):
+        return "streams"
+    return "engine"
 
 
 @dataclass(frozen=True)
@@ -108,7 +138,8 @@ _WORKER_STATE: Optional[Dict[str, Any]] = None
 def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
                  trace_cache_dir: Optional[str],
                  ledger_path: Optional[str],
-                 predictor_plugins: Tuple[str, ...] = ()) -> None:
+                 predictor_plugins: Tuple[str, ...] = (),
+                 backend: str = "auto") -> None:
     global _WORKER_STATE
     if trace_cache_dir is not None:
         # Propagate the parent's cache location even under a spawn start
@@ -128,6 +159,7 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
         "trace_length": trace_length,
         "seed": seed,
         "use_trace_cache": use_trace_cache,
+        "backend": backend,
         "decoded": {},
         "traces": {},
         "streams": {},
@@ -169,16 +201,27 @@ def _run_chunk(benchmark: str,
     decoded = _worker_decoded(benchmark)
     assert _WORKER_STATE is not None
     trace = _WORKER_STATE["traces"][benchmark]
+    # The tier cap is run-wide, so it rides in via the pool initializer
+    # rather than widening the chunk-runner signature.
+    backend = _WORKER_STATE["backend"]
     sink = get_sink()
     out: List[Tuple[int, PredictionStats]] = []
     for index, config, collect_mask in items:
-        if streams_supported(config):
+        tier = _cell_backend(config, backend)
+        sink.incr(f"runner.backend.{tier}")
+        if tier == "vector":
+            streams = _worker_streams(benchmark, stream_signature(config))
+            with sink.span("cell", benchmark=benchmark, kernel="vector"):
+                stats = simulate_vector(streams, config,
+                                        collect_mask=collect_mask)
+        elif tier == "streams":
             streams = _worker_streams(benchmark, stream_signature(config))
             with sink.span("cell", benchmark=benchmark, kernel="stream"):
                 stats = simulate_streamed(streams, config,
                                           collect_mask=collect_mask)
         else:
-            sink.incr("streams.fallback_reference")
+            if backend != "engine":
+                sink.incr("streams.fallback_reference")
             with sink.span("cell", benchmark=benchmark, kernel="reference"):
                 stats = simulate(trace, config, collect_mask=collect_mask,
                                  decoded=decoded)
@@ -233,7 +276,8 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
               trace_length: int = 400_000, seed: int = 1997,
               use_trace_cache: bool = True,
               result_cache: Optional[ResultCache] = None,
-              trace_provider: Optional[Callable[[str], Trace]] = None
+              trace_provider: Optional[Callable[[str], Trace]] = None,
+              backend: str = "auto"
               ) -> List[PredictionStats]:
     """Simulate every cell, returning stats in the order given.
 
@@ -241,7 +285,13 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
     cells simulated before; ``trace_provider`` lets a caller with traces
     already in memory (e.g. ``ExperimentContext.trace``) supply them
     instead of hitting the disk cache.  Duplicate cells are simulated once.
+    ``backend`` caps the execution tier (see :data:`BACKENDS`); every tier
+    is bit-identical, so cached results are shared across backends.
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}"
+        )
     jobs = default_jobs() if jobs is None else max(1, jobs)
     sink = get_sink()
     results: List[Optional[PredictionStats]] = [None] * len(cells)
@@ -269,7 +319,7 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
 
     if pending:
         computed = _compute(pending, jobs, trace_length, seed,
-                            use_trace_cache, trace_provider)
+                            use_trace_cache, trace_provider, backend)
         for (benchmark, config, _), stats in zip(pending, computed):
             if result_cache is not None:
                 key = keys.get((benchmark, config)) or cell_key(
@@ -283,7 +333,8 @@ def run_cells(cells: Sequence[SweepCell], jobs: Optional[int] = None, *,
 
 def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
              trace_length: int, seed: int, use_trace_cache: bool,
-             trace_provider: Optional[Callable[[str], Trace]]
+             trace_provider: Optional[Callable[[str], Trace]],
+             backend: str = "auto"
              ) -> List[PredictionStats]:
     """Simulate ``pending`` cells, in order, serially or via the pool."""
 
@@ -306,23 +357,37 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
             trace = load_trace(benchmark)
             decoded = decode_branches(trace)
             streams_memo: Dict[StreamConfig, BranchStreams] = {}
+
+            def serial_streams(signature: StreamConfig) -> BranchStreams:
+                streams = streams_memo.get(signature)
+                if streams is None:
+                    with sink.span("streams.build", benchmark=benchmark):
+                        streams = build_streams(decoded, signature)
+                    streams_memo[signature] = streams
+                else:
+                    sink.incr("streams.reuse")
+                return streams
+
             for position, config, need_mask in items:
-                if streams_supported(config):
-                    signature = stream_signature(config)
-                    streams = streams_memo.get(signature)
-                    if streams is None:
-                        with sink.span("streams.build", benchmark=benchmark):
-                            streams = build_streams(decoded, signature)
-                        streams_memo[signature] = streams
-                    else:
-                        sink.incr("streams.reuse")
+                tier = _cell_backend(config, backend)
+                sink.incr(f"runner.backend.{tier}")
+                if tier == "vector":
+                    streams = serial_streams(stream_signature(config))
+                    with sink.span("cell", benchmark=benchmark,
+                                   kernel="vector"):
+                        out[position] = simulate_vector(
+                            streams, config, collect_mask=need_mask
+                        )
+                elif tier == "streams":
+                    streams = serial_streams(stream_signature(config))
                     with sink.span("cell", benchmark=benchmark,
                                    kernel="stream"):
                         out[position] = simulate_streamed(
                             streams, config, collect_mask=need_mask
                         )
                 else:
-                    sink.incr("streams.fallback_reference")
+                    if backend != "engine":
+                        sink.incr("streams.fallback_reference")
                     with sink.span("cell", benchmark=benchmark,
                                    kernel="reference"):
                         out[position] = simulate(trace, config,
@@ -356,7 +421,8 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
                 initargs=(trace_length, seed, use_trace_cache,
                           os.environ.get("REPRO_TRACE_CACHE"),  # repro-lint: ignore[det-env-read]
                           sink.ledger_path,
-                          tuple(plugin_modules())),
+                          tuple(plugin_modules()),
+                          backend),
             ) as pool:
                 try:
                     futures = [
@@ -382,12 +448,12 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
             f"process pool unavailable ({exc}); running sweep serially"
         )
         return _compute(pending, 1, trace_length, seed, use_trace_cache,
-                        trace_provider)
+                        trace_provider, backend)
     if pool_broke:
         remaining = [i for i, stats in enumerate(out) if stats is None]
         sink.event("pool.recovery", cells=len(remaining))
         redone = _compute([pending[i] for i in remaining], 1, trace_length,
-                          seed, use_trace_cache, trace_provider)
+                          seed, use_trace_cache, trace_provider, backend)
         for i, stats in zip(remaining, redone):
             out[i] = stats
     return out  # type: ignore[return-value]

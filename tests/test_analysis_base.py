@@ -92,7 +92,8 @@ class TestRegistryAndReport:
         names = [checker.name for checker in CHECKERS]
         assert len(names) == len(set(names))
         assert set(names) == {"determinism", "cache-keys", "registry",
-                              "bitwidth", "hotloop", "obs"}
+                              "bitwidth", "hotloop", "obs",
+                              "vector-hygiene"}
 
     def test_only_filters_checkers(self):
         report = run_lint(only=["hotloop"])

@@ -8,10 +8,15 @@ from repro.bench import (
     format_summary,
     run_bench,
     sweep_configs,
+    vector_sweep_configs,
     write_bench,
 )
 from repro.cli import main
-from repro.predictors import stream_signature, streams_supported
+from repro.predictors import (
+    stream_signature,
+    streams_supported,
+    vector_supported,
+)
 
 TRACE_LENGTH = 8_000
 
@@ -32,6 +37,15 @@ class TestSweepConfigs:
         configs = sweep_configs(6)
         assert len(set(configs)) == 6
 
+    def test_vector_configs_are_table4_cells_on_the_same_streams(self):
+        configs = vector_sweep_configs()
+        assert len(set(configs)) == len(configs) == 4
+        assert all(vector_supported(c) for c in configs)
+        # shares the tagged sweep's signature: the tier breakdown reuses
+        # the streams the warm sweep already built
+        signatures = {stream_signature(c) for c in configs + sweep_configs(1)}
+        assert len(signatures) == 1
+
 
 class TestRunBench:
     def test_payload_schema(self):
@@ -49,6 +63,22 @@ class TestRunBench:
         assert payload["speedup"]["per_cell"] > 0
         assert payload["speedup"]["including_build"] > 0
 
+    def test_payload_tier_breakdown(self):
+        payload = _payload()
+        tiers = payload["tiers"]
+        assert tiers["n_configs"] == len(vector_sweep_configs())
+        assert tiers["configs"] == "table4-tagless"
+        for key in ("engine_per_cell_s", "streams_per_cell_s",
+                    "vector_per_cell_s"):
+            assert tiers[key] > 0
+        # speedup ratios must be consistent with the timed metrics
+        assert tiers["speedup"]["vector_vs_streams"] == (
+            tiers["streams_per_cell_s"] / tiers["vector_per_cell_s"]
+        )
+        assert tiers["speedup"]["vector_vs_engine"] == (
+            tiers["engine_per_cell_s"] / tiers["vector_per_cell_s"]
+        )
+
     def test_payload_is_json_serialisable(self, tmp_path):
         payload = _payload()
         path = tmp_path / "BENCH_sweep.json"
@@ -62,6 +92,17 @@ class TestRunBench:
         text = format_summary(payload)
         assert "speedup" in text
         assert "perl" in text
+        assert "tiers" in text
+        assert "vector speedup" in text
+
+    def test_summary_tolerates_pre_tier_payloads(self):
+        # Payloads from before the per-tier breakdown must still render
+        # (repro report --compare reads historical BENCH_history.jsonl).
+        payload = _payload()
+        del payload["tiers"]
+        text = format_summary(payload)
+        assert "speedup" in text
+        assert "vector" not in text
 
 
 class TestHistory:

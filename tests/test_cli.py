@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 
 
@@ -34,6 +36,34 @@ def test_predictors_command(capsys):
     assert "spec fields:" in out
     # parameterised example labels, not bare kind strings
     assert "ittage(4x" in out
+
+
+def test_predictors_command_shows_backend_support(capsys):
+    assert main(["predictors"]) == 0
+    out = capsys.readouterr().out
+    # every kind advertises its execution-tier chain, best first
+    assert "backends: vector > streams > engine" in out   # tagless family
+    assert "backends: streams > engine" in out            # tagged/cascaded
+    backend_lines = [line for line in out.splitlines()
+                     if "backends:" in line]
+    kinds = [line for line in out.splitlines()
+             if line.startswith("  ") and not line.startswith("    ")]
+    assert len(backend_lines) == len(kinds)
+
+
+def test_backend_flag_is_validated(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["table4", "--backend", "simd"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_experiment_accepts_backend_override(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    assert main(["table4", "--trace-length", "40000",
+                 "--backend", "vector"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
 
 
 def test_unknown_experiment_fails(capsys):

@@ -160,6 +160,39 @@ class TestCompareBench:
         assert result["metrics"] == []
         assert not result["regressed"]
 
+    def test_tier_metrics_gate_the_vector_backend(self):
+        def with_tiers(vector=0.0001):
+            payload = _bench_payload()
+            payload["tiers"] = {
+                "engine_per_cell_s": 0.04,
+                "streams_per_cell_s": 0.0005,
+                "vector_per_cell_s": vector,
+                "speedup": {"vector_vs_streams": 0.0005 / vector,
+                            "vector_vs_engine": 0.04 / vector},
+            }
+            return payload
+
+        result = compare_bench(with_tiers(), with_tiers(vector=0.0002),
+                               threshold_pct=20.0)
+        assert result["regressed"]
+        regressed = {m["name"] for m in result["metrics"] if m["regressed"]}
+        assert regressed == {"tiers.vector_per_cell_s"}
+        assert any(m["name"] == "tiers.speedup.vector_vs_streams"
+                   for m in result["info"])
+
+    def test_pre_tier_payloads_stay_comparable(self):
+        # old payload predates the per-tier breakdown: its absence is a
+        # skip, never a regression
+        old = _bench_payload()
+        new = _bench_payload()
+        new["tiers"] = {"engine_per_cell_s": 0.04,
+                        "streams_per_cell_s": 0.0005,
+                        "vector_per_cell_s": 0.0001}
+        result = compare_bench(old, new)
+        assert not result["regressed"]
+        assert not any(m["name"].startswith("tiers.")
+                       for m in result["metrics"])
+
     def test_format_compare_marks_regressions(self):
         result = compare_bench(_bench_payload(),
                                _bench_payload(per_cell=0.004))

@@ -138,13 +138,14 @@ class TestCacheBehaviourInRunCells:
                           result_cache=cache)
 
         calls = []
-        real_simulate = pool_mod.simulate
+        for name in ("simulate", "simulate_streamed", "simulate_vector"):
+            real = getattr(pool_mod, name)
 
-        def counting_simulate(*args, **kwargs):
-            calls.append(1)
-            return real_simulate(*args, **kwargs)
+            def counting(*args, __real=real, **kwargs):
+                calls.append(1)
+                return __real(*args, **kwargs)
 
-        monkeypatch.setattr(pool_mod, "simulate", counting_simulate)
+            monkeypatch.setattr(pool_mod, name, counting)
         second = run_cells(cells, jobs=1, trace_length=LENGTH,
                            result_cache=cache)
         assert not calls, "warm cache must not re-simulate any cell"
@@ -160,20 +161,17 @@ class TestCacheBehaviourInRunCells:
         cells = [SweepCell("perl", EngineConfig())]
         run_cells(cells, jobs=1, trace_length=LENGTH, result_cache=cache)
 
+        # Spy every execution tier: whichever the runner picks, a cache
+        # miss must reach exactly one of them.
         calls = []
-        real_simulate = pool_mod.simulate
-        real_streamed = pool_mod.simulate_streamed
+        for name in ("simulate", "simulate_streamed", "simulate_vector"):
+            real = getattr(pool_mod, name)
 
-        def counting_simulate(*args, **kwargs):
-            calls.append(1)
-            return real_simulate(*args, **kwargs)
+            def counting(*args, __real=real, **kwargs):
+                calls.append(1)
+                return __real(*args, **kwargs)
 
-        def counting_streamed(*args, **kwargs):
-            calls.append(1)
-            return real_streamed(*args, **kwargs)
-
-        monkeypatch.setattr(pool_mod, "simulate", counting_simulate)
-        monkeypatch.setattr(pool_mod, "simulate_streamed", counting_streamed)
+            monkeypatch.setattr(pool_mod, name, counting)
         run_cells(cells, jobs=1, trace_length=LENGTH // 2, result_cache=cache)
         assert calls, "different trace length must miss the cache"
 
