@@ -20,7 +20,16 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Protocol, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 #: Sentinel rule name meaning "every rule" in a suppression set.
 SUPPRESS_ALL = "*"
@@ -157,4 +166,26 @@ class Checker(Protocol):
     def run(self, project: Project) -> List[Finding]:
         """Return every finding in the project (suppression is applied
         by the caller, not the checker)."""
+        ...  # pragma: no cover - protocol body
+
+
+@runtime_checkable
+class FinalizingChecker(Protocol):
+    """A pass that audits the *other* passes' raw findings.
+
+    ``run_lint`` collects the pre-suppression findings of every
+    registered non-finalizing checker once per run and hands them to
+    ``finalize``; the stale-suppression audit is the one implementation.
+    """
+
+    name: str
+    description: str
+
+    def run(self, project: Project) -> List[Finding]:
+        ...  # pragma: no cover - protocol body
+
+    def finalize(
+        self, project: Project, raw_findings: Sequence[Finding]
+    ) -> List[Finding]:
+        """Findings derived from peers' raw output."""
         ...  # pragma: no cover - protocol body

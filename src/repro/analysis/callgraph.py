@@ -1,0 +1,283 @@
+"""Approximate intra-package call graph with reachability queries.
+
+Built on :class:`~repro.analysis.symbols.SymbolIndex`, this module gives
+the interprocedural checkers the one question lexical passes cannot
+answer: *which code runs when this function runs?*  Edges are collected
+per function definition:
+
+* **direct calls** — ``helper(...)`` resolves through enclosing-function
+  nesting, module locals, then import aliases (with package re-export
+  chasing), so ``from repro.predictors import simulate_vector`` followed
+  by ``simulate_vector(...)`` lands on
+  ``repro.predictors.vector.simulate_vector``;
+* **method calls through self/cls** — ``self.m(...)`` resolves against
+  the enclosing class, walking project-resolvable base classes;
+* **constructor calls** — ``ClassName(...)`` adds an edge to the class
+  *and* its ``__init__`` when one is defined;
+* **registered factories** — any ``<expr>.factory(...)`` call fans out
+  to every function passed as ``factory=`` in a
+  :func:`repro.predictors.registry.register` call found in the project,
+  so code that builds predictors through the registry (the fetch engine,
+  the vector tier) reaches the concrete predictor constructors.
+
+Unresolvable calls (dynamic dispatch on arbitrary objects, externals)
+produce no edge — the graph is deliberately an *under*-approximation,
+which is the right polarity for "flag what worker code can reach"
+(missed edges cost coverage, never false findings about unreachable
+code).  The one exception is the factory fan-out above, which
+over-approximates on purpose: a registry-built predictor could be any
+registered kind.
+
+The graph is memoised per :class:`~repro.analysis.base.Project` so the
+checkers that share one lint run also share one graph build.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import Project
+from repro.analysis.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    SymbolIndex,
+)
+
+
+def _own_statements(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested definitions.
+
+    Nested functions and classes are call-graph nodes of their own; the
+    enclosing function only gets an edge where it *calls* (or constructs)
+    them.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _dotted_call_name(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` call targets rooted at a plain name, else ``None``."""
+    parts: List[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _registered_factories(index: SymbolIndex) -> Tuple[str, ...]:
+    """Qualnames of every function passed as ``factory=`` to ``register``.
+
+    Matches calls to a name that resolves to (or is literally named)
+    ``register`` imported from the predictor registry, project-wide.
+    """
+    targets: Set[str] = set()
+    for module in index.modules.values():
+        for node in ast.walk(module.source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_call_name(node.func)
+            if name is None:
+                continue
+            resolved = index.resolve_in_module(module, name)
+            if resolved != "repro.predictors.registry.register":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "factory":
+                    continue
+                factory_name = _dotted_call_name(keyword.value)
+                if factory_name is None:
+                    continue
+                factory = index.resolve_in_module(module, factory_name)
+                if factory is not None and factory in index.functions:
+                    targets.add(factory)
+    return tuple(sorted(targets))
+
+
+@dataclass
+class CallGraph:
+    """Function-qualname call graph over one project."""
+
+    index: SymbolIndex
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: fan-out targets of ``<expr>.factory(...)`` calls
+    factory_targets: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        index = SymbolIndex.build(project)
+        graph = cls(index=index, factory_targets=_registered_factories(index))
+        for func in index.functions.values():
+            graph.edges[func.qualname] = graph._function_edges(func)
+        return graph
+
+    def _function_edges(self, func: FunctionInfo) -> Set[str]:
+        module = self.index.modules[func.module]
+        out: Set[str] = set()
+        for node in _own_statements(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            out.update(self._call_targets(module, func, node))
+        return out
+
+    def _call_targets(
+        self, module: ModuleInfo, func: FunctionInfo, call: ast.Call
+    ) -> Set[str]:
+        targets: Set[str] = set()
+        # Registry factories: ``reg.factory(cfg)`` / ``registration(k).factory(cfg)``
+        # could build any registered kind.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "factory"
+        ):
+            targets.update(self.factory_targets)
+        name = _dotted_call_name(call.func)
+        if name is None:
+            return targets
+        head, _, rest = name.partition(".")
+        if head in ("self", "cls") and func.class_name is not None:
+            if rest and "." not in rest:
+                cls_info = module.classes.get(func.class_name)
+                if cls_info is not None:
+                    method = self.index.resolve_method(cls_info, rest)
+                    if method is not None:
+                        targets.add(method.qualname)
+            return targets
+        resolved = self.index.resolve_in_module(
+            module, name, enclosing_function=func
+        )
+        if resolved is None:
+            return targets
+        if resolved in self.index.classes:
+            # Constructing a class runs its __init__ (when it defines one).
+            targets.add(resolved)
+            ctor = self.index.resolve_method(
+                self.index.classes[resolved], "__init__"
+            )
+            if ctor is not None:
+                targets.add(ctor.qualname)
+        elif resolved in self.index.functions:
+            targets.add(resolved)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def has_edge(self, caller: str, callee: str) -> bool:
+        return callee in self.edges.get(caller, set())
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every qualname reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [root for root in roots]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return seen
+
+    def parents_from(self, roots: Iterable[str]) -> Dict[str, Optional[str]]:
+        """BFS parent map from ``roots``: node -> the caller it was first
+        reached through (``None`` for the roots themselves).
+
+        One traversal serves every "how is X reachable?" message a checker
+        wants to print; materialise a chain with :func:`chain_to`.
+        """
+        parents: Dict[str, Optional[str]] = {}
+        frontier: List[str] = []
+        for root in sorted(set(roots)):
+            parents[root] = None
+            frontier.append(root)
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for callee in sorted(self.edges.get(node, ())):
+                    if callee in parents:
+                        continue
+                    parents[callee] = node
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return parents
+
+    @staticmethod
+    def chain_to(parents: Dict[str, Optional[str]], node: str) -> List[str]:
+        """The root-to-``node`` call chain recorded in ``parents``."""
+        chain = [node]
+        while True:
+            parent = parents.get(chain[-1])
+            if parent is None:
+                break
+            chain.append(parent)
+        return list(reversed(chain))
+
+    def path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Shortest call path from ``src`` to ``dst`` (BFS), or ``None``."""
+        if src == dst:
+            return [src]
+        parents: Dict[str, str] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for callee in sorted(self.edges.get(node, ())):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    parents[callee] = node
+                    if callee == dst:
+                        chain = [dst]
+                        while chain[-1] != src:
+                            chain.append(parents[chain[-1]])
+                        return list(reversed(chain))
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return None
+
+    def functions_in_module(self, module: str) -> List[FunctionInfo]:
+        """Every function defined in ``module``, in source order."""
+        info = self.index.modules.get(module)
+        if info is None:
+            return []
+        return sorted(info.functions.values(), key=lambda f: f.lineno)
+
+
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[Project, CallGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def project_callgraph(project: Project) -> CallGraph:
+    """The (memoised) call graph of ``project``.
+
+    Both interprocedural checkers run inside one ``repro lint``
+    invocation; sharing the build keeps the whole suite comfortably
+    inside the CI runtime guard.
+    """
+    graph = _GRAPH_CACHE.get(project)
+    if graph is None:
+        graph = CallGraph.build(project)
+        _GRAPH_CACHE[project] = graph
+    return graph

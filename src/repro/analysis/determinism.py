@@ -29,10 +29,15 @@ wall-clock/environment reads carry explicit suppressions):
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.astutil import import_aliases, resolve_dotted
 from repro.analysis.base import Finding, Project, SourceFile
+
+#: One detected impurity: ``(rule, lineno, message)``.  The transitive
+#: purity pass (:mod:`repro.analysis.purity`) consumes these directly,
+#: so the lexical and call-graph passes share one set of detectors.
+Impurity = Tuple[str, int, str]
 
 #: Package-relative directories the determinism rules apply to.
 SCOPE = ("predictors/", "pipeline/", "runner/", "obs/")
@@ -58,6 +63,110 @@ _SEEDED_RANDOM_FACTORIES = frozenset({"Random", "SystemRandom"})
 _SEEDED_NUMPY_FACTORIES = frozenset({"default_rng", "RandomState", "Generator"})
 
 
+def _call_impurity(node: ast.Call, aliases: Dict[str, str]) -> List[Impurity]:
+    dotted = resolve_dotted(node.func, aliases)
+    if dotted is None:
+        return []
+    if dotted.startswith("random."):
+        tail = dotted.split(".", 1)[1]
+        if tail.split(".")[0] not in _SEEDED_RANDOM_FACTORIES:
+            return [
+                (
+                    "det-unseeded-random", node.lineno,
+                    f"call to '{dotted}' uses the global (unseeded) RNG; "
+                    "construct a seeded random.Random instead",
+                )
+            ]
+        return []
+    if dotted.startswith("numpy.random."):
+        tail = dotted.rsplit(".", 1)[1]
+        if tail in _SEEDED_NUMPY_FACTORIES and (node.args or node.keywords):
+            return []
+        message = (
+            f"call to '{dotted}' draws from numpy's global RNG; "
+            "use np.random.default_rng(seed)"
+            if tail not in _SEEDED_NUMPY_FACTORIES
+            else f"'{dotted}' constructed without an explicit seed"
+        )
+        return [("det-unseeded-random", node.lineno, message)]
+    if dotted in _WALL_CLOCK or dotted.endswith(_DATE_LIKE):
+        return [
+            (
+                "det-wall-clock", node.lineno,
+                f"call to '{dotted}' reads the wall clock; results must "
+                "not depend on time",
+            )
+        ]
+    if dotted == "os.getenv":
+        return [
+            (
+                "det-env-read", node.lineno,
+                "os.getenv() makes behaviour depend on the environment",
+            )
+        ]
+    return []
+
+
+def _environ_impurity(
+    node: ast.Attribute, aliases: Dict[str, str]
+) -> List[Impurity]:
+    if node.attr != "environ":
+        return []
+    dotted = resolve_dotted(node, aliases)
+    if dotted != "os.environ":
+        return []
+    return [
+        (
+            "det-env-read", node.lineno,
+            "os.environ access makes behaviour depend on the environment",
+        )
+    ]
+
+
+def _set_iter_impurity(iter_node: ast.AST) -> List[Impurity]:
+    reason: Optional[str] = None
+    if isinstance(iter_node, (ast.Set, ast.SetComp)):
+        reason = "a set literal"
+    elif (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+        and iter_node.func.id in ("set", "frozenset")
+    ):
+        reason = f"a {iter_node.func.id}() value"
+    if reason is None:
+        return []
+    lineno = getattr(iter_node, "lineno", 1)
+    return [
+        (
+            "det-set-iteration", lineno,
+            f"iterating {reason} directly: set order varies under hash "
+            "randomisation; wrap in sorted(...)",
+        )
+    ]
+
+
+def scan_impurities(root: ast.AST, aliases: Dict[str, str]) -> List[Impurity]:
+    """Every determinism hazard under ``root`` as ``(rule, line, message)``.
+
+    ``root`` may be a whole module (the lexical checker) or a single
+    function definition (the transitive purity pass); ``aliases`` are the
+    defining module's import aliases either way.
+    """
+    impurities: List[Impurity] = []
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            impurities.extend(_call_impurity(node, aliases))
+        elif isinstance(node, ast.Attribute):
+            impurities.extend(_environ_impurity(node, aliases))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            impurities.extend(_set_iter_impurity(node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                impurities.extend(_set_iter_impurity(generator.iter))
+    return impurities
+
+
 class DeterminismChecker:
     """Flag nondeterminism hazards in the simulation/runner code."""
 
@@ -79,99 +188,7 @@ class DeterminismChecker:
     # ------------------------------------------------------------------
     def check_file(self, source: SourceFile) -> List[Finding]:
         aliases = import_aliases(source.tree)
-        findings: List[Finding] = []
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.Call):
-                findings.extend(self._check_call(source, node, aliases))
-            elif isinstance(node, ast.Attribute):
-                findings.extend(self._check_environ(source, node, aliases))
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
-                findings.extend(self._check_set_iter(source, node.iter))
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                                   ast.GeneratorExp)):
-                for generator in node.generators:
-                    findings.extend(self._check_set_iter(source, generator.iter))
-        return findings
-
-    # ------------------------------------------------------------------
-    def _check_call(self, source: SourceFile, node: ast.Call,
-                    aliases: Dict[str, str]) -> List[Finding]:
-        dotted = resolve_dotted(node.func, aliases)
-        if dotted is None:
-            return []
-        if dotted.startswith("random."):
-            tail = dotted.split(".", 1)[1]
-            if tail.split(".")[0] not in _SEEDED_RANDOM_FACTORIES:
-                return [
-                    Finding(
-                        "det-unseeded-random", source.relpath, node.lineno,
-                        f"call to '{dotted}' uses the global (unseeded) RNG; "
-                        "construct a seeded random.Random instead",
-                    )
-                ]
-            return []
-        if dotted.startswith("numpy.random."):
-            tail = dotted.rsplit(".", 1)[1]
-            if tail in _SEEDED_NUMPY_FACTORIES and (node.args or node.keywords):
-                return []
-            message = (
-                f"call to '{dotted}' draws from numpy's global RNG; "
-                "use np.random.default_rng(seed)"
-                if tail not in _SEEDED_NUMPY_FACTORIES
-                else f"'{dotted}' constructed without an explicit seed"
-            )
-            return [
-                Finding("det-unseeded-random", source.relpath, node.lineno,
-                        message)
-            ]
-        if dotted in _WALL_CLOCK or dotted.endswith(_DATE_LIKE):
-            return [
-                Finding(
-                    "det-wall-clock", source.relpath, node.lineno,
-                    f"call to '{dotted}' reads the wall clock; results must "
-                    "not depend on time",
-                )
-            ]
-        if dotted == "os.getenv":
-            return [
-                Finding(
-                    "det-env-read", source.relpath, node.lineno,
-                    "os.getenv() makes behaviour depend on the environment",
-                )
-            ]
-        return []
-
-    def _check_environ(self, source: SourceFile, node: ast.Attribute,
-                       aliases: Dict[str, str]) -> List[Finding]:
-        if node.attr != "environ":
-            return []
-        dotted = resolve_dotted(node, aliases)
-        if dotted != "os.environ":
-            return []
         return [
-            Finding(
-                "det-env-read", source.relpath, node.lineno,
-                "os.environ access makes behaviour depend on the environment",
-            )
-        ]
-
-    def _check_set_iter(self, source: SourceFile,
-                        iter_node: ast.AST) -> List[Finding]:
-        reason: Optional[str] = None
-        if isinstance(iter_node, (ast.Set, ast.SetComp)):
-            reason = "a set literal"
-        elif (
-            isinstance(iter_node, ast.Call)
-            and isinstance(iter_node.func, ast.Name)
-            and iter_node.func.id in ("set", "frozenset")
-        ):
-            reason = f"a {iter_node.func.id}() value"
-        if reason is None:
-            return []
-        return [
-            Finding(
-                "det-set-iteration", source.relpath, iter_node.lineno,
-                f"iterating {reason} directly: set order varies under hash "
-                "randomisation; wrap in sorted(...)",
-            )
+            Finding(rule, source.relpath, line, message)
+            for rule, line, message in scan_impurities(source.tree, aliases)
         ]

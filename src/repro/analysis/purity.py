@@ -1,0 +1,108 @@
+"""Transitive purity: determinism propagated over the call graph.
+
+The lexical :class:`~repro.analysis.determinism.DeterminismChecker` scans
+a fixed set of directories.  That shape has a blind spot the result cache
+cannot afford: a function under the prediction-kernel roots
+(:data:`~repro.analysis.cache_keys.PREDICTION_ROOTS` — the reference
+engine, the stream kernel, the vector tier) may *call* a helper that
+lives anywhere in the package, and an impurity inside that helper
+corrupts cached results exactly as if it sat in the kernel itself.
+
+This pass closes the gap by propagation instead of enumeration: it
+computes every function reachable from the kernel roots over the project
+call graph (:mod:`repro.analysis.callgraph`) and applies the shared
+determinism detectors (:func:`~repro.analysis.determinism.scan_impurities`)
+to each one — so the checked surface *follows the code*, not a directory
+list.  Deleting a seed guard three calls deep in ``guest/`` or
+``workloads/`` is a finding here even though the lexical pass never looks
+at those trees.
+
+``purity-transitive``
+    An impure construct (unseeded RNG, wall clock, environment read,
+    set-order iteration) inside a function transitively reachable from a
+    prediction root.  The message names the underlying determinism rule
+    and one concrete root-to-function call chain.
+
+Findings anchor at the impure line (suppressing one site silences every
+path through it, mirroring the lexical pass).  The call graph resolves
+direct calls, ``self`` methods, re-exports, and registry factories; what
+it cannot resolve it omits, so this pass under-approximates — it is a
+safety net *behind* the lexical checker, not a replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Finding, Project
+from repro.analysis.cache_keys import PREDICTION_ROOTS
+from repro.analysis.callgraph import project_callgraph
+from repro.analysis.determinism import scan_impurities
+
+
+class TransitivePurityChecker:
+    """Flag impurities anywhere the prediction kernel can reach."""
+
+    name = "transitive-purity"
+    description = (
+        "determinism rules propagated over the call graph: everything "
+        "reachable from the prediction-kernel roots must be pure"
+    )
+
+    def __init__(
+        self,
+        root_modules: Sequence[str] = PREDICTION_ROOTS,
+        skip_prefixes: Sequence[str] = (),
+    ) -> None:
+        #: modules whose top-level functions seed the reachability sweep
+        self.root_modules = tuple(root_modules)
+        #: relpath prefixes to leave to another pass (empty by default:
+        #: this pass deliberately re-covers the lexical determinism scope
+        #: for kernel-reachable code, so a suppression there must answer
+        #: to both rules)
+        self.skip_prefixes = tuple(skip_prefixes)
+
+    def run(self, project: Project) -> List[Finding]:
+        graph = project_callgraph(project)
+        roots = [
+            func.qualname
+            for module in self.root_modules
+            for func in graph.functions_in_module(module)
+        ]
+        parents = graph.parents_from(roots)
+        findings: List[Finding] = []
+        # A nested function is both its own graph node and part of its
+        # parent's subtree walk (so closures that are only ever passed as
+        # callbacks still get scanned); dedupe keeps one finding per site.
+        seen_sites: Set[Tuple[str, int, str]] = set()
+        for qualname in sorted(parents):
+            func = graph.index.function(qualname)
+            if func is None:
+                continue
+            if self.skip_prefixes and func.relpath.startswith(
+                self.skip_prefixes
+            ):
+                continue
+            module = graph.index.modules[func.module]
+            chain: Optional[List[str]] = None
+            for rule, line, message in scan_impurities(
+                func.node, module.aliases
+            ):
+                site = (func.relpath, line, rule)
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                if chain is None:
+                    chain = graph.chain_to(parents, qualname)
+                via = " -> ".join(
+                    part.rsplit(".", 1)[-1] if i else part
+                    for i, part in enumerate(chain)
+                )
+                findings.append(
+                    Finding(
+                        "purity-transitive", func.relpath, line,
+                        f"impure code reachable from a prediction root "
+                        f"({rule}): {message} [call chain: {via}]",
+                    )
+                )
+        return findings

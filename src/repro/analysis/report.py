@@ -34,18 +34,84 @@ class LintReport:
         lines.append(summary)
         return "\n".join(lines)
 
+    def _sorted_findings(self) -> List[Finding]:
+        """Findings in the canonical (path, line, rule) order.
+
+        ``run_lint`` already sorts, but the machine formats re-sort so a
+        hand-built report serialises deterministically too.
+        """
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+
     def to_json(self) -> str:
         payload: Dict[str, object] = {
-            "findings": [finding.to_json() for finding in self.findings],
+            "findings": [
+                finding.to_json() for finding in self._sorted_findings()
+            ],
             "checkers": list(self.checkers),
             "suppressed": self.suppressed,
             "clean": self.clean,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
+    def to_sarif(self) -> str:
+        """Minimal SARIF 2.1.0 — enough for code-scanning upload/diffing.
+
+        One run, one rule entry per distinct rule id, one result per
+        finding with a physical location.  Everything is emitted in the
+        canonical (path, line, rule) order so the artifact is
+        byte-stable across runs.
+        """
+        findings = self._sorted_findings()
+        rule_ids = sorted({finding.rule for finding in findings})
+        rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+        results = [
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f"src/repro/{finding.path}",
+                            },
+                            "region": {"startLine": finding.line},
+                        }
+                    }
+                ],
+            }
+            for finding in findings
+        ]
+        payload: Dict[str, object] = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "rules": [
+                                {"id": rule} for rule in rule_ids
+                            ],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
     def render(self, fmt: str) -> str:
         if fmt == "json":
             return self.to_json()
+        if fmt == "sarif":
+            return self.to_sarif()
         if fmt == "text":
             return self.to_text()
         raise ValueError(f"unknown lint format: {fmt!r}")

@@ -1,0 +1,85 @@
+"""Stale-suppression audit: every ``ignore`` comment must earn its keep.
+
+Suppression comments are load-bearing documentation: each one asserts
+"this rule fires here, and here is why that is acceptable".  When the
+code under a comment changes — the impure call moves, the rule is
+renamed, the hazard is fixed properly — the comment survives as noise
+and, worse, as a pre-authorised hole for the *next* edit to hide in.
+
+This pass closes the loop.  It cannot run standalone: it audits the raw
+(pre-suppression) findings of every *other* registered checker, which
+:func:`repro.analysis.run_lint` collects once per lint run and hands to
+:meth:`StaleSuppressionChecker.finalize`.
+
+``stale-suppression``
+    A ``# repro-lint: ignore[rule]`` naming a rule that produces no
+    finding on that line, or a bare ``# repro-lint: ignore`` on a line
+    where nothing fires at all.
+
+The rule is itself suppressible through the ordinary central mechanism
+(a deliberate forward-looking suppression can carry
+``ignore[stale-suppression]`` with a comment saying why).  To keep that
+from collapsing into a fixed-point paradox — a suppression of
+``stale-suppression`` is only "live" because this pass exists — entries
+naming this checker's own rule are exempt from the audit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.base import SUPPRESS_ALL, Finding, Project
+
+
+class StaleSuppressionChecker:
+    """Flag suppression comments that no longer silence anything."""
+
+    name = "stale-suppression"
+    description = (
+        "repro-lint ignore comments naming rules that no longer fire on "
+        "their line (audited against every other checker's raw findings)"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        """No standalone findings — the audit needs peer raw findings."""
+        return []
+
+    def finalize(
+        self, project: Project, raw_findings: Sequence[Finding]
+    ) -> List[Finding]:
+        """Audit every suppression against ``raw_findings``.
+
+        ``raw_findings`` must be the *pre-suppression* output of every
+        other registered checker over the same project.
+        """
+        fired: Set[Tuple[str, int, str]] = set()
+        fired_lines: Set[Tuple[str, int]] = set()
+        for finding in raw_findings:
+            fired.add((finding.path, finding.line, finding.rule))
+            fired_lines.add((finding.path, finding.line))
+        findings: List[Finding] = []
+        for source in project.files:
+            for line, rules in sorted(source.suppressions.items()):
+                for rule in sorted(rules):
+                    if rule == self.name:
+                        continue  # see module docstring: audit exemption
+                    if rule == SUPPRESS_ALL:
+                        if (source.relpath, line) not in fired_lines:
+                            findings.append(
+                                Finding(
+                                    self.name, source.relpath, line,
+                                    "blanket '# repro-lint: ignore' on a "
+                                    "line where no rule fires; delete it "
+                                    "or name the rule it is meant for",
+                                )
+                            )
+                    elif (source.relpath, line, rule) not in fired:
+                        findings.append(
+                            Finding(
+                                self.name, source.relpath, line,
+                                f"suppression names rule '{rule}', which "
+                                "produces no finding on this line; the "
+                                "comment is stale — delete it",
+                            )
+                        )
+        return findings

@@ -9,7 +9,7 @@ Subcommands::
     repro sweep --spec FILE [opts]  # run ad-hoc cells from a spec JSON file
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
-    repro lint [--format json|text]   # run the domain lint passes
+    repro lint [--format text|json|sarif] [--only a,b]  # domain lint passes
     repro bench [--bench-output F]    # measure sweep throughput -> JSON
     repro report [LEDGER]             # summarise a run ledger
     repro report --compare OLD NEW    # diff two bench payloads (CI gate)
@@ -96,11 +96,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="cap the per-cell execution tier (auto picks "
                              "the fastest supported: vector > streams > "
                              "engine; results are bit-identical)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="lint output format (lint command)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (lint: text/json/sarif; "
+                             "report: text/json)")
     parser.add_argument("--only", action="append", default=None,
-                        metavar="CHECKER",
-                        help="run only the named lint checker (repeatable)")
+                        metavar="CHECKERS",
+                        help="run only the named lint checkers "
+                             "(repeatable and/or comma-separated)")
     parser.add_argument("--list-checks", action="store_true",
                         help="list registered lint checkers and exit")
     parser.add_argument("--bench-output", default="BENCH_sweep.json",
@@ -233,8 +236,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_checks:
         print(describe_checkers(CHECKERS))
         return 0
+    only = None
+    if args.only is not None:
+        # Each --only may name several checkers: --only a,b --only c.
+        only = [
+            name.strip()
+            for entry in args.only
+            for name in entry.split(",")
+            if name.strip()
+        ]
     try:
-        report = run_lint(only=args.only)
+        report = run_lint(only=only)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

@@ -45,7 +45,10 @@ def get_sink() -> Sink:
 
 def install(sink: Sink) -> Sink:
     """Make ``sink`` the process-global sink; returns the previous one."""
-    global _SINK
+    # Workers reach this via attach_worker to replace a fork-inherited
+    # parent sink with their own shard writer — a swap that must be
+    # per-process, and telemetry never feeds back into results.
+    global _SINK  # repro-lint: ignore[worker-global-write]
     previous = _SINK
     _SINK = sink
     return previous

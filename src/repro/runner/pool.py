@@ -140,11 +140,15 @@ def _init_worker(trace_length: int, seed: int, use_trace_cache: bool,
                  ledger_path: Optional[str],
                  predictor_plugins: Tuple[str, ...] = (),
                  backend: str = "auto") -> None:
-    global _WORKER_STATE
+    # The whole point of the initializer is to install per-worker state;
+    # it never leaks into results (cells are pure functions of their
+    # spec) and each worker owns its copy exclusively.
+    global _WORKER_STATE  # repro-lint: ignore[worker-global-write]
     if trace_cache_dir is not None:
         # Propagate the parent's cache location even under a spawn start
         # method, where mutated parent environment is not inherited.
-        os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir  # repro-lint: ignore[det-env-read]
+        # Written once, before any task runs, in this process only.
+        os.environ["REPRO_TRACE_CACHE"] = trace_cache_dir  # repro-lint: ignore[det-env-read, worker-env-mutate]
     if ledger_path is not None:
         # Replace any fork-inherited parent sink with a worker-role sink
         # writing this process's own ledger shard.
@@ -175,9 +179,11 @@ def _worker_decoded(benchmark: str) -> DecodedBranches:
             benchmark, n_instructions=state["trace_length"],
             seed=state["seed"], use_cache=state["use_trace_cache"],
         )
-        state["traces"][benchmark] = trace
+        # Per-worker decode memo: keyed by benchmark, value deterministic
+        # given the spec, so replication across workers cannot diverge.
+        state["traces"][benchmark] = trace  # repro-lint: ignore[worker-global-write]
         decoded = decode_branches(trace)
-        state["decoded"][benchmark] = decoded
+        state["decoded"][benchmark] = decoded  # repro-lint: ignore[worker-global-write]
     return decoded
 
 
@@ -189,7 +195,8 @@ def _worker_streams(benchmark: str, signature: StreamConfig) -> BranchStreams:
     if streams is None:
         with get_sink().span("streams.build", benchmark=benchmark):
             streams = build_streams(_worker_decoded(benchmark), signature)
-        state["streams"][(benchmark, signature)] = streams
+        # Same per-worker memo discipline as _worker_decoded above.
+        state["streams"][(benchmark, signature)] = streams  # repro-lint: ignore[worker-global-write]
     else:
         get_sink().incr("streams.reuse")
     return streams

@@ -93,7 +93,9 @@ class TestRegistryAndReport:
         assert len(names) == len(set(names))
         assert set(names) == {"determinism", "cache-keys", "registry",
                               "bitwidth", "hotloop", "obs",
-                              "vector-hygiene"}
+                              "vector-hygiene", "worker-safety",
+                              "transitive-purity", "trait-contract",
+                              "stale-suppression"}
 
     def test_only_filters_checkers(self):
         report = run_lint(only=["hotloop"])
@@ -102,6 +104,14 @@ class TestRegistryAndReport:
     def test_only_rejects_unknown_checker(self):
         with pytest.raises(ValueError, match="no-such-checker"):
             run_lint(only=["no-such-checker"])
+
+    def test_only_error_lists_valid_names(self):
+        with pytest.raises(ValueError, match="valid:.*determinism"):
+            run_lint(only=["no-such-checker"])
+
+    def test_only_accepts_multiple_names(self):
+        report = run_lint(only=["hotloop", "bitwidth"])
+        assert set(report.checkers) == {"hotloop", "bitwidth"}
 
     def test_describe_checkers_lists_every_name(self):
         text = describe_checkers(CHECKERS)
@@ -129,6 +139,43 @@ class TestRegistryAndReport:
         assert payload["findings"][0] == {
             "rule": "r", "path": "a.py", "line": 1, "message": "msg",
         }
+
+    def test_json_findings_are_sorted_canonically(self):
+        report = LintReport(
+            findings=[Finding("z", "b.py", 9, "late"),
+                      Finding("a", "b.py", 9, "tie"),
+                      Finding("r", "a.py", 1, "first")],
+            checkers=["stub"],
+        )
+        payload = json.loads(report.to_json())
+        assert [(f["path"], f["line"], f["rule"])
+                for f in payload["findings"]] == [
+            ("a.py", 1, "r"), ("b.py", 9, "a"), ("b.py", 9, "z"),
+        ]
+
+    def test_sarif_report_shape(self):
+        report = LintReport(
+            findings=[Finding("rule-b", "m.py", 3, "msg-b"),
+                      Finding("rule-a", "m.py", 2, "msg-a")],
+            checkers=["stub"],
+        )
+        payload = json.loads(report.to_sarif())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            "rule-a", "rule-b",
+        ]
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == ["rule-a", "rule-b"]
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/m.py"
+        assert location["region"]["startLine"] == 2
+        assert results[0]["level"] == "error"
+        # rule indices point back into the driver rules array
+        for result in results:
+            rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+            assert rule["id"] == result["ruleId"]
 
     def test_render_rejects_unknown_format(self):
         with pytest.raises(ValueError):
@@ -159,3 +206,25 @@ class TestShippedTree:
 
     def test_cli_lint_unknown_only_is_usage_error(self, capsys):
         assert main(["lint", "--only", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "valid:" in err
+
+    def test_cli_lint_only_comma_separated(self, capsys):
+        assert main(["lint", "--only", "hotloop,bitwidth",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["checkers"]) == {"hotloop", "bitwidth"}
+
+    def test_cli_lint_sarif_parses(self, capsys):
+        assert main(["lint", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"] == []
+
+    def test_cli_lint_findings_exit_nonzero(self, capsys, monkeypatch):
+        import repro.analysis as analysis
+
+        bad = _StubChecker([Finding("stub-rule", "m.py", 1, "boom")])
+        monkeypatch.setattr(analysis, "CHECKERS", [bad])
+        assert main(["lint"]) == 1
+        assert "stub-rule" in capsys.readouterr().out

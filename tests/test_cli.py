@@ -51,6 +51,42 @@ def test_predictors_command_shows_backend_support(capsys):
     assert len(backend_lines) == len(kinds)
 
 
+def test_lint_exit_codes(capsys):
+    # clean tree -> 0; unknown checker -> usage error 2 naming the valid set
+    assert main(["lint"]) == 0
+    assert "no findings" in capsys.readouterr().out
+    assert main(["lint", "--only", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err and "worker-safety" in err
+
+
+def test_lint_json_schema(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["findings"] == []
+    assert "worker-safety" in payload["checkers"]
+    assert "transitive-purity" in payload["checkers"]
+    assert payload["suppressed"] >= 1
+
+
+def test_lint_sarif_schema(capsys):
+    assert main(["lint", "--format", "sarif"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["results"] == []
+
+
+def test_lint_only_comma_and_repeat_compose(capsys):
+    assert main(["lint", "--only", "determinism,hotloop",
+                 "--only", "bitwidth", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["checkers"]) == {"determinism", "hotloop", "bitwidth"}
+
+
 def test_backend_flag_is_validated(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["table4", "--backend", "simd"])
