@@ -57,6 +57,9 @@ from repro.analysis.symbols import FunctionInfo, ModuleInfo
 ENTRY_POINTS: Tuple[str, ...] = (
     "repro.runner.pool._init_worker",
     "repro.runner.pool._run_chunk",
+    # The sweep service submits single cells through the same pool; its
+    # worker-side entry point must obey the same closure rules.
+    "repro.runner.pool._service_cell",
 )
 
 #: Method names that mutate their receiver in place.

@@ -11,6 +11,8 @@ Subcommands::
     repro dump <workload> [--head N]  # disassemble a workload's code
     repro lint [--format text|json|sarif] [--only a,b]  # domain lint passes
     repro bench [--bench-output F]    # measure sweep throughput -> JSON
+    repro serve [--port P] [--shards N]   # long-running sweep service
+    repro loadgen [--requests N] [--concurrency C]  # benchmark the service
     repro report [LEDGER]             # summarise a run ledger
     repro report --compare OLD NEW    # diff two bench payloads (CI gate)
 
@@ -71,8 +73,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         help="experiment name, 'all', 'list', 'predictors', "
-                             "'sweep', 'trace', 'dump', 'lint', 'bench', or "
-                             "'report'")
+                             "'sweep', 'trace', 'dump', 'lint', 'bench', "
+                             "'serve', 'loadgen', or 'report'")
     parser.add_argument("workload", nargs="?",
                         help="workload name (for 'trace', 'dump', 'bench') "
                              "or ledger path (for 'report')")
@@ -119,6 +121,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--obs-ledger", default=None, metavar="FILE",
                         help="record a run ledger at FILE (overrides "
                              "REPRO_OBS)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind/connect address (serve, loadgen)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port (serve: 0 picks a free port and "
+                             "prints it; loadgen: the server's port)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="scheduler shards (serve; default scales "
+                             "with --jobs)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="spec submissions to replay (loadgen)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="concurrent loadgen workers")
+    parser.add_argument("--zipf", type=float, default=None,
+                        help="Zipf exponent for the loadgen request mix")
     parser.add_argument("--compare", nargs=2, default=None,
                         metavar=("OLD", "NEW"),
                         help="report command: diff two bench JSON payloads; "
@@ -339,13 +355,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    import json
     from pathlib import Path
 
-    from repro.experiments.common import FOCUS_BENCHMARKS, ExperimentTable
-    from repro.experiments.configs import preset
-    from repro.predictors import EngineConfig, load_plugins
-    from repro.workloads import workload_names
+    from repro.experiments.common import ExperimentTable
+    from repro.predictors import load_plugins
+    from repro.sweepspec import SpecError, parse_spec_text
 
     if not args.spec:
         print("usage: repro sweep --spec FILE", file=sys.stderr)
@@ -355,58 +369,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"repro sweep: spec file {path} not found", file=sys.stderr)
         return 2
     try:
-        document = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        print(f"repro sweep: {path} is not valid JSON: {exc}", file=sys.stderr)
-        return 2
-    if not isinstance(document, dict) or not document.get("cells"):
-        print("repro sweep: spec file must be an object with a non-empty "
-              "'cells' list", file=sys.stderr)
-        return 2
-
-    load_plugins(document.get("plugins", []))
-    default_benchmarks = document.get("benchmarks", list(FOCUS_BENCHMARKS))
-    known = set(workload_names(include_oo=True))
-
-    # (row label, benchmark, config) per table row, in spec-file order.
-    rows_wanted = []
-    try:
-        for cell in document["cells"]:
-            if not isinstance(cell, dict):
-                raise ValueError(f"cell entries must be objects, got {cell!r}")
-            if ("preset" in cell) == ("engine" in cell):
-                raise ValueError(
-                    "each cell needs exactly one of 'preset' or 'engine': "
-                    f"{cell!r}"
-                )
-            if "preset" in cell:
-                config = preset(cell["preset"])
-                default_label = cell["preset"]
-            else:
-                config = EngineConfig.from_spec(cell["engine"])
-                default_label = (
-                    config.target_cache.label()
-                    if config.target_cache is not None else "btb-only"
-                )
-            label = cell.get("label", default_label)
-            benchmarks = cell.get("benchmarks", default_benchmarks)
-            for benchmark in benchmarks:
-                if benchmark not in known:
-                    raise ValueError(
-                        f"unknown benchmark {benchmark!r}; available: "
-                        f"{', '.join(sorted(known))}"
-                    )
-                rows_wanted.append((label, benchmark, config))
-    except (KeyError, ValueError, TypeError) as exc:
+        plan = parse_spec_text(path.read_text(), source=str(path))
+    except SpecError as exc:
+        # One line naming the offending key path; exit 2 like argparse.
         print(f"repro sweep: {exc}", file=sys.stderr)
         return 2
+    load_plugins(list(plan.plugins))
 
     ctx = _context(args)
-    ctx.predictions([(benchmark, config) for _, benchmark, config in rows_wanted])
+    ctx.predictions(plan.cells())
     rows = []
-    for label, benchmark, config in rows_wanted:
-        stats = ctx.prediction(benchmark, config)
-        rows.append((f"{benchmark} {label}", [
+    for row in plan.rows:
+        stats = ctx.prediction(row.benchmark, row.config)
+        rows.append((f"{row.benchmark} {row.label}", [
             stats.indirect_mispred_rate,
             stats.conditional_mispred_rate,
             stats.overall_mispred_rate,
@@ -423,11 +398,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DEFAULT_PORT, SweepService
+
+    service = SweepService(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        jobs=args.jobs,
+        shards=args.shards,
+        trace_length=args.trace_length or 400_000,
+        seed=args.seed,
+        use_trace_cache=not args.no_cache,
+        backend=args.backend,
+        use_result_cache=not args.no_result_cache,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        # Printed after bind so `--port 0` reports the real port.
+        print(f"repro serve: listening on http://{service.host}:"
+              f"{service.port} (pool: {service.pool.mode} x"
+              f"{service.pool.workers}, shards: "
+              f"{service.scheduler.n_shards})", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.bench import append_history, write_bench
+    from repro.service import DEFAULT_PORT
+    from repro.service.loadgen import (
+        DEFAULT_CONCURRENCY,
+        DEFAULT_REQUESTS,
+        DEFAULT_ZIPF_S,
+        format_loadgen,
+        run_load,
+    )
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        payload = asyncio.run(run_load(
+            args.host, port,
+            requests=args.requests if args.requests is not None
+            else DEFAULT_REQUESTS,
+            concurrency=args.concurrency if args.concurrency is not None
+            else DEFAULT_CONCURRENCY,
+            seed=args.seed,
+            zipf_s=args.zipf if args.zipf is not None else DEFAULT_ZIPF_S,
+        ))
+    except (OSError, ConnectionError) as exc:
+        print(f"repro loadgen: cannot reach {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    output = Path(args.bench_output)
+    if output.name == "BENCH_sweep.json":
+        # Don't overwrite the sweep bench when --bench-output was left at
+        # its bench-command default.
+        output = output.with_name("BENCH_serve.json")
+    write_bench(payload, output)
+    history = (
+        Path(args.bench_history) if args.bench_history is not None
+        else output.with_name("BENCH_serve_history.jsonl")
+    )
+    append_history(payload, history)
+    print(format_loadgen(payload))
+    print(f"  wrote {output} (history: {history})")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if not payload["errors"] else 1
+
+
 def _run_simulation(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     ctx = _context(args)
     names = list(EXPERIMENT_MODULES) if args.command == "all" else [args.command]
     for name in names:

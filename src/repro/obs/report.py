@@ -235,10 +235,22 @@ def compare_bench(old: Dict[str, Any], new: Dict[str, Any],
     speedup ratios are reported for context but never gate, since they
     are derived from the timed metrics.  Metrics missing from either
     payload are skipped, keeping old payload versions comparable.
+
+    A payload may declare its own metric lists via top-level
+    ``gate_metrics`` / ``info_metrics`` keys (``BENCH_serve.json`` does:
+    latency percentiles gate, throughput and hit rates inform).  When the
+    *new* payload carries them they replace the sweep-bench defaults, so
+    one ``repro report --compare`` command gates every bench flavour.
     """
+    gate_names = new.get("gate_metrics")
+    if not isinstance(gate_names, list):
+        gate_names = list(_BENCH_TIME_METRICS)
+    info_names = new.get("info_metrics")
+    if not isinstance(info_names, list):
+        info_names = list(_BENCH_INFO_METRICS)
     metrics: List[Dict[str, Any]] = []
     regressed = False
-    for name in _BENCH_TIME_METRICS:
+    for name in gate_names:
         old_value = _lookup(old, name)
         new_value = _lookup(new, name)
         if old_value is None or new_value is None or old_value <= 0.0:
@@ -250,7 +262,7 @@ def compare_bench(old: Dict[str, Any], new: Dict[str, Any],
                         "change_pct": change_pct,
                         "regressed": metric_regressed})
     info: List[Dict[str, Any]] = []
-    for name in _BENCH_INFO_METRICS:
+    for name in info_names:
         old_value = _lookup(old, name)
         new_value = _lookup(new, name)
         if old_value is None or new_value is None or old_value <= 0.0:

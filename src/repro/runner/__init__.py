@@ -25,6 +25,7 @@ directly for custom sweeps::
 """
 
 from repro.runner.cache import (
+    DEFAULT_CLAIM_TTL_S,
     ResultCache,
     default_result_cache_dir,
     result_cache_enabled,
@@ -37,13 +38,21 @@ from repro.runner.keys import (
     timing_code_fingerprint,
     timing_key,
 )
-from repro.runner.pool import BACKENDS, SweepCell, default_jobs, run_cells
+from repro.runner.pool import (
+    BACKENDS,
+    SweepCell,
+    SweepPool,
+    default_jobs,
+    run_cells,
+)
 
 __all__ = [
     "BACKENDS",
     "CELL_KEY_VERSION",
+    "DEFAULT_CLAIM_TTL_S",
     "ResultCache",
     "SweepCell",
+    "SweepPool",
     "cell_key",
     "config_token",
     "default_jobs",

@@ -28,6 +28,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -41,6 +43,19 @@ _FORMAT_VERSION = 1
 
 #: values of ``REPRO_RESULT_CACHE`` that turn the cache off
 _OFF_VALUES = {"0", "off", "no", "false", ""}
+
+#: Seconds after which an unreleased cell claim counts as abandoned (the
+#: claiming process died); a fresh claimer may break and take it over.
+DEFAULT_CLAIM_TTL_S = 120.0
+
+#: Exceptions a corrupt/torn/stale cache entry may raise on load.  A
+#: truncated npz manifests as ``zipfile.BadZipFile`` or ``EOFError``
+#: depending on where the bytes stop; all of them mean "miss", never
+#: "crash" — the multi-server sharing story depends on readers surviving
+#: whatever a crashed writer left behind.
+_CORRUPT_ENTRY_ERRORS = (
+    ValueError, OSError, KeyError, EOFError, zipfile.BadZipFile,
+)
 
 
 def result_cache_enabled() -> bool:
@@ -84,6 +99,13 @@ class ResultCache:
         ``need_mask=True`` additionally requires the entry to carry the
         per-instruction mispredict mask; maskless entries count as misses
         (and are overwritten by the maskful recompute).
+
+        Crash-consistency contract (the flip side of :meth:`store`): a
+        reader can observe either no file or a complete one under normal
+        operation, but a machine crash between the rename and the data
+        reaching disk can leave a *torn* (truncated or zero-byte) entry.
+        Any such entry — along with any other undecodable bytes — is
+        treated as a miss and evicted, never raised to the caller.
         """
         path = self._path(key)
         if not path.exists():
@@ -117,12 +139,25 @@ class ResultCache:
                     ).astype(bool)
                 get_sink().incr("result_cache.load.hit")
                 return stats
-        except (ValueError, OSError, KeyError):
+        except _CORRUPT_ENTRY_ERRORS:
             path.unlink(missing_ok=True)  # corrupt or stale entry
             get_sink().incr("result_cache.evict")
             return None
 
     def store(self, key: str, stats: PredictionStats) -> None:
+        """Persist ``stats`` under ``key`` with atomic visibility.
+
+        Write-path audit (deliberately ``fsync``-free): the payload is
+        written to a ``mkstemp`` temporary *in the destination directory*
+        (same filesystem, so the rename cannot degrade to copy+delete),
+        then published with ``os.replace`` — readers see the old entry or
+        the whole new one, never a partial write, and concurrent writers
+        of the same key last-write-win with identical bytes (the key
+        covers every input).  Skipping ``fsync`` trades durability for
+        speed: an OS/power crash may leave the renamed file torn on disk,
+        which :meth:`load` already treats as an evictable miss, so the
+        worst case is one lost cache entry, never a wrong result.
+        """
         get_sink().incr("result_cache.store")
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -175,6 +210,62 @@ class ResultCache:
             path.unlink(missing_ok=True)  # corrupt or stale entry
             get_sink().incr("result_cache.evict")
             return None
+
+    # ------------------------------------------------------------------
+    # Cell claims: cross-process work coordination for the sweep service.
+    # ------------------------------------------------------------------
+    def _claim_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.claim"
+
+    def claim(self, key: str, ttl_s: float = DEFAULT_CLAIM_TTL_S) -> bool:
+        """Atomically claim the right to compute ``key``; True if won.
+
+        N server instances sharing one cache directory use claims to
+        split a sweep: exactly one process wins ``O_CREAT | O_EXCL`` on
+        the claim file and computes the cell; the others poll the cache
+        until the winner's :meth:`store` lands (see
+        :class:`repro.service.scheduler.ShardScheduler`).  A claim left
+        behind by a dead process goes stale after ``ttl_s`` seconds and
+        is broken by the next claimer — losing a claim therefore delays a
+        cell, never loses it.  Claims gate *who computes*, not *what* the
+        result is, so they are invisible in the cached bytes.
+        """
+        path = self._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                age = self.claim_age(key)
+                if age is not None and age <= ttl_s:
+                    get_sink().incr("result_cache.claim.lost")
+                    return False
+                # Stale claim (holder died without releasing): break it.
+                # Concurrent breakers both unlink, then O_EXCL arbitrates
+                # the retry, so at most one claimer wins.
+                path.unlink(missing_ok=True)
+                get_sink().incr("result_cache.claim.broken")
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps({"pid": os.getpid()}))
+            get_sink().incr("result_cache.claim.won")
+            return True
+        get_sink().incr("result_cache.claim.lost")
+        return False
+
+    def release(self, key: str) -> None:
+        """Drop a claim taken by :meth:`claim` (idempotent)."""
+        self._claim_path(key).unlink(missing_ok=True)
+
+    def claim_age(self, key: str) -> Optional[float]:
+        """Seconds since ``key`` was claimed, or ``None`` if unclaimed."""
+        try:
+            mtime = self._claim_path(key).stat().st_mtime
+        except OSError:
+            return None
+        # Claim freshness is a scheduling hint between live processes;
+        # results never read it (claims only decide who computes a cell).
+        return max(0.0, time.time() - mtime)  # repro-lint: ignore[det-wall-clock]
 
     def store_cycles(self, key: str, cycles: int) -> None:
         get_sink().incr("result_cache.cycles.store")

@@ -47,7 +47,13 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
@@ -239,6 +245,20 @@ def _run_chunk(benchmark: str,
     return out
 
 
+def _service_cell(benchmark: str, config: EngineConfig,
+                  collect_mask: bool = False) -> PredictionStats:
+    """Worker entry point for single-cell service submissions.
+
+    The sweep service schedules cells one at a time (its shard scheduler
+    owns batching, dedup and cache policy in the parent), so its pool
+    tasks are single cells rather than chunks.  Delegates to
+    :func:`_run_chunk` so the per-worker trace/stream memos and execution
+    tiers behave identically to batch sweeps — a cell computes the same
+    bytes no matter which front end submitted it.
+    """
+    return _run_chunk(benchmark, [(0, config, collect_mask)])[0][1]
+
+
 # ----------------------------------------------------------------------
 # Parent side.
 # ----------------------------------------------------------------------
@@ -268,6 +288,8 @@ def _group_by_signature(
 
 
 def _split_chunks(items: List[_T], pieces: int) -> List[List[_T]]:
+    if not items:
+        return []
     pieces = max(1, min(pieces, len(items)))
     base, extra = divmod(len(items), pieces)
     chunks: List[List[_T]] = []
@@ -464,3 +486,113 @@ def _compute(pending: List[Tuple[str, EngineConfig, bool]], jobs: int,
         for i, stats in zip(remaining, redone):
             out[i] = stats
     return out  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Reentrant pool handle (the sweep service's execution backend).
+# ----------------------------------------------------------------------
+class SweepPool:
+    """A long-lived, reentrant pool handle for single-cell submissions.
+
+    :func:`run_cells` owns its pool for the duration of one sweep and
+    tears it down after; a long-running server wants the opposite — one
+    warm pool whose workers keep their trace/stream memos across requests
+    — and it submits from an asyncio event loop, one cell at a time, via
+    ``loop.run_in_executor(pool.executor, ...)``.  ``jobs >= 1`` builds a
+    :class:`ProcessPoolExecutor` with the same initializer as
+    :func:`run_cells`, so every worker-side memo and execution-tier rule
+    applies unchanged.  ``jobs == 0`` (or :meth:`degrade_to_thread` after
+    a broken/unavailable process pool) swaps in a single-thread executor
+    that runs :func:`_init_worker` in its one thread: the same worker
+    machinery, serialised, with no fork — the fallback for sandboxed
+    environments and the deterministic mode tests use.
+
+    Thread mode deliberately passes ``ledger_path=None`` and
+    ``trace_cache_dir=None`` to the initializer: the "worker" shares the
+    parent process, whose sink and environment are already in place —
+    attaching a worker-role sink in-process would clobber the parent's.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 trace_length: int = 400_000, seed: int = 1997,
+                 use_trace_cache: bool = True, backend: str = "auto") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(BACKENDS)}"
+            )
+        self.jobs = default_jobs() if jobs is None else max(0, jobs)
+        self.trace_length = trace_length
+        self.seed = seed
+        self.use_trace_cache = use_trace_cache
+        self.backend = backend
+        self._mode = "process" if self.jobs >= 1 else "thread"
+        self._executor: Optional[Executor] = None
+
+    @property
+    def mode(self) -> str:
+        """``"process"`` or ``"thread"`` (the degraded/inline mode)."""
+        return self._mode
+
+    @property
+    def workers(self) -> int:
+        return self.jobs if self._mode == "process" else 1
+
+    @property
+    def executor(self) -> Executor:
+        """The live executor, built lazily on first use."""
+        if self._executor is None:
+            if self._mode == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(self.trace_length, self.seed,
+                              self.use_trace_cache,
+                              os.environ.get("REPRO_TRACE_CACHE"),  # repro-lint: ignore[det-env-read]
+                              get_sink().ledger_path,
+                              tuple(plugin_modules()),
+                              self.backend),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix="repro-sweep",
+                    initializer=_init_worker,
+                    initargs=(self.trace_length, self.seed,
+                              self.use_trace_cache, None, None, (),
+                              self.backend),
+                )
+        return self._executor
+
+    def submit_cell(self, benchmark: str, config: EngineConfig,
+                    collect_mask: bool = False
+                    ) -> "Future[PredictionStats]":
+        """Submit one cell; returns the executor's future."""
+        return self.executor.submit(
+            _service_cell, benchmark, config, collect_mask
+        )
+
+    def degrade_to_thread(self) -> None:
+        """Swap a broken/unavailable process pool for the thread fallback.
+
+        Idempotent; pending futures on the old executor are abandoned to
+        their owners (the scheduler resubmits), and results are unaffected
+        — every execution mode is bit-identical by construction.
+        """
+        old = self._executor
+        self._mode = "thread"
+        self._executor = None
+        get_sink().event("pool.degraded", mode="thread")
+        if old is not None:
+            old.shutdown(wait=False)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""The ``repro serve`` sweep service: async HTTP front end over the pool.
+
+This package turns the batch sweep machinery into a long-running,
+shareable service:
+
+* :mod:`~repro.service.http` — the stdlib-asyncio HTTP/1.1 slice
+  (request parsing, keep-alive JSON responses, chunked JSONL streams);
+* :mod:`~repro.service.scheduler` — :class:`ShardScheduler`, the sharded
+  work-stealing cell scheduler with in-flight dedup, result-cache
+  short-circuiting, and cross-instance claim files;
+* :mod:`~repro.service.server` — :class:`SweepService`, the endpoints
+  (``POST /sweeps``, ``GET /sweeps/{id}[/events]``, ``/healthz``,
+  ``/stats``);
+* :mod:`~repro.service.loadgen` — the ``repro loadgen`` benchmark client.
+
+See ``docs/SERVICE.md`` for the wire format and the multi-instance
+sharing story.
+"""
+
+from repro.service.scheduler import ShardScheduler
+from repro.service.server import DEFAULT_PORT, SweepService, run_service
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ShardScheduler",
+    "SweepService",
+    "run_service",
+]

@@ -191,3 +191,43 @@ def test_sweep_runs_spec_cells(capsys, monkeypatch, tmp_path):
     assert "perl btb-only" in out
     assert "perl my-tagless" in out
     assert "indirect" in out and "overall" in out
+
+
+def test_sweep_error_is_one_line_naming_the_key(capsys, tmp_path):
+    """Malformed spec JSON: one line on stderr naming the offending key
+    path, exit code 2 — never a traceback."""
+    spec = tmp_path / "sweep.json"
+    spec.write_text(json.dumps({
+        "benchmarks": ["perl"],
+        "cells": [{"preset": "btb-only"},
+                  {"engine": {"target_cache": {"kind": "no_such_kind"}}}],
+    }))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # exactly one line
+    assert "cells[1].engine" in err
+    assert "Traceback" not in err
+
+
+def test_sweep_names_unknown_top_level_keys(capsys, tmp_path):
+    spec = tmp_path / "sweep.json"
+    spec.write_text(json.dumps({"cels": [], "cells": [{"preset": "oracle"}]}))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "cels" in capsys.readouterr().err
+
+
+def test_sweep_rejects_non_list_plugins(capsys, tmp_path):
+    spec = tmp_path / "sweep.json"
+    spec.write_text(json.dumps(
+        {"plugins": "notalist", "cells": [{"preset": "btb-only"}]}
+    ))
+    assert main(["sweep", "--spec", str(spec)]) == 2
+    assert "'plugins' must be a list of strings" in capsys.readouterr().err
+
+
+def test_loadgen_unreachable_server_exits_2(capsys, monkeypatch):
+    import repro.service.loadgen as loadgen_mod
+
+    monkeypatch.setattr(loadgen_mod, "CONNECT_RETRY_S", 0.0)
+    assert main(["loadgen", "--port", "1", "--requests", "1"]) == 2
+    assert "cannot reach" in capsys.readouterr().err

@@ -264,3 +264,48 @@ class TestReportCommand:
         old.write_text(json.dumps(_bench_payload()))
         assert main(["report", "--compare", str(old),
                      str(tmp_path / "missing.json")]) == 2
+
+
+class TestPayloadDeclaredMetrics:
+    """``BENCH_serve.json`` declares its own gate/info metric lists; the
+    comparator must honour them so one CLI command gates every flavour."""
+
+    def _serve_payload(self, p50=0.020, p95=0.050, rps=200.0):
+        return {
+            "schema": 1,
+            "bench": "serve",
+            "latency": {"p50_s": p50, "p95_s": p95, "p99_s": p95 * 1.2},
+            "throughput": {"requests_per_s": rps},
+            "gate_metrics": ["latency.p50_s", "latency.p95_s",
+                             "latency.p99_s"],
+            "info_metrics": ["throughput.requests_per_s"],
+        }
+
+    def test_declared_gate_metrics_gate(self):
+        result = compare_bench(self._serve_payload(),
+                               self._serve_payload(p50=0.030),
+                               threshold_pct=20.0)
+        assert result["regressed"]
+        names = {metric["name"] for metric in result["metrics"]}
+        assert "latency.p50_s" in names
+        # Sweep-bench defaults are not consulted for a declaring payload.
+        assert "reference.per_cell_s" not in names
+
+    def test_declared_info_metrics_never_gate(self):
+        result = compare_bench(self._serve_payload(rps=1000.0),
+                               self._serve_payload(rps=10.0),
+                               threshold_pct=20.0)
+        assert not result["regressed"]
+        info_names = {metric["name"] for metric in result["info"]}
+        assert "throughput.requests_per_s" in info_names
+
+    def test_within_threshold_passes(self):
+        result = compare_bench(self._serve_payload(),
+                               self._serve_payload(p50=0.021),
+                               threshold_pct=20.0)
+        assert not result["regressed"]
+
+    def test_undeclared_payloads_keep_sweep_defaults(self):
+        result = compare_bench(_bench_payload(), _bench_payload())
+        names = {metric["name"] for metric in result["metrics"]}
+        assert "reference.per_cell_s" in names

@@ -239,3 +239,80 @@ class TestCyclesCache:
         assert warm.cycles("perl", EngineConfig()) == reference
         assert warm.baseline_cycles("perl") == reference
         assert not calls, "warm result cache must not re-run the timing model"
+
+
+class TestTornEntries:
+    """Satellite of the fsync-free write audit: a machine crash after the
+    atomic rename can leave a *torn* (truncated/zero-byte) npz on disk.
+    Such entries must read as evictable misses — never as a crash."""
+
+    def _store_real_entry(self, tmp_path):
+        from repro.workloads import get_trace
+
+        trace = get_trace("perl", n_instructions=LENGTH)
+        stats = simulate(trace, EngineConfig())
+        cache = ResultCache(tmp_path)
+        cache.store("e" * 64, stats)
+        return cache, cache._path("e" * 64)
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.25, 0.5, 0.9])
+    def test_truncated_entry_is_a_miss_and_evicts(self, tmp_path,
+                                                  keep_fraction):
+        cache, path = self._store_real_entry(tmp_path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:int(len(whole) * keep_fraction)])
+        assert cache.load("e" * 64) is None
+        assert not path.exists(), "torn entry must be evicted"
+        # And the next store/load round-trips normally again.
+        from repro.workloads import get_trace
+
+        stats = simulate(get_trace("perl", n_instructions=LENGTH),
+                         EngineConfig())
+        cache.store("e" * 64, stats)
+        assert cache.load("e" * 64) is not None
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache, path = self._store_real_entry(tmp_path)
+        leftovers = [p for p in path.parent.iterdir()
+                     if p.suffix == ".tmp" or ".tmp" in p.name]
+        assert leftovers == []
+
+
+class TestClaims:
+    """Cross-instance cell claims: atomic acquisition, stale takeover."""
+
+    KEY = "f" * 64
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.claim(self.KEY)
+        assert not cache.claim(self.KEY)  # second claimant loses
+        cache.release(self.KEY)
+        assert cache.claim(self.KEY)  # and can win after release
+
+    def test_release_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.release(self.KEY)  # releasing an unclaimed key is a no-op
+        assert cache.claim(self.KEY)
+        cache.release(self.KEY)
+        cache.release(self.KEY)
+
+    def test_stale_claim_is_taken_over(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.claim(self.KEY)
+        # ttl 0: any existing claim counts as abandoned.
+        assert cache.claim(self.KEY, ttl_s=0.0)
+
+    def test_fresh_claim_age_is_small(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.claim_age(self.KEY) is None
+        cache.claim(self.KEY)
+        age = cache.claim_age(self.KEY)
+        assert age is not None and age < 60.0
+
+    def test_two_caches_share_claims_via_directory(self, tmp_path):
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        assert a.claim(self.KEY)
+        assert not b.claim(self.KEY)
+        a.release(self.KEY)
+        assert b.claim(self.KEY)

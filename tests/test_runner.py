@@ -201,3 +201,60 @@ class TestPoolFallback:
         )
         for got, want in zip(results, reference):
             assert_identical(got, want)
+
+
+class TestSplitChunks:
+    """Edge cases of the chunking helper behind ``run_cells``."""
+
+    def test_empty_items_yield_no_chunks(self):
+        from repro.runner.pool import _split_chunks
+
+        assert _split_chunks([], 4) == []
+
+    def test_more_pieces_than_items_caps_at_item_count(self):
+        from repro.runner.pool import _split_chunks
+
+        chunks = _split_chunks([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_zero_pieces_clamps_to_one(self):
+        from repro.runner.pool import _split_chunks
+
+        assert _split_chunks([1, 2, 3], 0) == [[1, 2, 3]]
+
+    def test_order_is_preserved_and_partition_is_exact(self):
+        from repro.runner.pool import _split_chunks
+
+        items = list(range(11))
+        chunks = _split_chunks(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        # Balanced: sizes differ by at most one.
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDefaultJobs:
+    def test_env_override_is_honoured(self, monkeypatch):
+        from repro.runner import default_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_zero_clamps_to_one(self, monkeypatch):
+        from repro.runner import default_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_non_integer_warns_and_defaults(self, monkeypatch):
+        from repro.runner import default_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            assert default_jobs() == 1
+
+    def test_unset_defaults_to_serial(self, monkeypatch):
+        from repro.runner import default_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1

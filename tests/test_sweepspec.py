@@ -1,0 +1,99 @@
+"""The shared spec parser: strict validation with key-path error messages.
+
+``repro sweep --spec`` and ``POST /sweeps`` both parse through
+:mod:`repro.sweepspec`; these tests pin the contract both front ends rely
+on — every structural mistake is a one-line :exc:`SpecError` naming the
+offending key path, and valid documents produce the rows in spec order.
+"""
+
+import pytest
+
+from repro.predictors import EngineConfig
+from repro.sweepspec import SpecError, parse_spec_document, parse_spec_text
+
+
+def test_minimal_preset_document():
+    plan = parse_spec_document(
+        {"benchmarks": ["perl"], "cells": [{"preset": "btb-only"}]}
+    )
+    assert [row.label for row in plan.rows] == ["btb-only"]
+    assert plan.cells() == [("perl", plan.rows[0].config)]
+    assert plan.plugins == ()
+
+
+def test_default_benchmarks_are_the_focus_pair():
+    plan = parse_spec_document({"cells": [{"preset": "btb-only"}]})
+    assert [row.benchmark for row in plan.rows] == ["perl", "gcc"]
+
+
+def test_rows_preserve_spec_order_and_overrides():
+    plan = parse_spec_document({
+        "benchmarks": ["perl"],
+        "cells": [
+            {"preset": "tagless-gshare9", "label": "mine"},
+            {"engine": {"target_cache": {"kind": "tagless"}},
+             "benchmarks": ["gcc", "go"]},
+        ],
+    })
+    assert [(row.label, row.benchmark) for row in plan.rows] == [
+        ("mine", "perl"),
+        ("gshare(9)", "gcc"),
+        ("gshare(9)", "go"),
+    ]
+    assert all(isinstance(row.config, EngineConfig) for row in plan.rows)
+
+
+@pytest.mark.parametrize("document, fragment", [
+    (5, "must be a JSON object"),
+    ({"cells": [{"preset": "btb-only"}], "cels": []}, "unknown key(s): cels"),
+    ({"plugins": "notalist", "cells": [{"preset": "btb-only"}]},
+     "'plugins' must be a list of strings"),
+    ({"benchmarks": "perl", "cells": [{"preset": "btb-only"}]},
+     "'benchmarks' must be a list of strings"),
+    ({"benchmarks": ["nope"], "cells": [{"preset": "btb-only"}]},
+     "'benchmarks' names unknown benchmark 'nope'"),
+    ({"benchmarks": [], "cells": [{"preset": "btb-only"}]},
+     "'benchmarks' must not be empty"),
+    ({"cells": 5}, "'cells' must be a non-empty list"),
+    ({"cells": []}, "'cells' must be a non-empty list"),
+    ({"cells": [7]}, "'cells[0]' must be an object"),
+    ({"cells": [{}]}, "'cells[0]' needs exactly one of 'preset' or 'engine'"),
+    ({"cells": [{"preset": "a", "engine": {}}]},
+     "'cells[0]' needs exactly one of"),
+    ({"cells": [{"preset": "btb-only", "extra": 1}]},
+     "'cells[0]' has unknown key(s): extra"),
+    ({"cells": [{"preset": 5}]}, "'cells[0].preset' must be a string"),
+    ({"cells": [{"preset": "nope"}]},
+     "'cells[0].preset': unknown preset 'nope'"),
+    ({"cells": [{"engine": 5}]},
+     "'cells[0].engine' must be an engine spec object"),
+    ({"cells": [{"preset": "btb-only"}, {"engine": {"bogus_key": 1}}]},
+     "'cells[1].engine':"),
+    ({"cells": [{"preset": "btb-only", "label": 9}]},
+     "'cells[0].label' must be a string"),
+    ({"cells": [{"preset": "btb-only", "benchmarks": ["zzz"]}]},
+     "'cells[0].benchmarks' names unknown benchmark 'zzz'"),
+])
+def test_structural_errors_name_the_key_path(document, fragment):
+    with pytest.raises(SpecError) as excinfo:
+        parse_spec_document(document)
+    message = str(excinfo.value)
+    assert fragment in message
+    assert "\n" not in message  # one line, CLI/service print it verbatim
+
+
+def test_error_messages_list_valid_alternatives():
+    with pytest.raises(SpecError, match="available: .*tagless-gshare9"):
+        parse_spec_document({"cells": [{"preset": "nope"}]})
+
+
+def test_parse_text_wraps_json_errors():
+    with pytest.raises(SpecError, match="my.json is not valid JSON"):
+        parse_spec_text("{not json", source="my.json")
+
+
+def test_parse_text_round_trip():
+    plan = parse_spec_text(
+        '{"benchmarks": ["perl"], "cells": [{"preset": "btb-only"}]}'
+    )
+    assert len(plan.rows) == 1
