@@ -34,6 +34,14 @@ building every spec example through the real factory:
     A ``provides`` class defined in a module the result-cache
     code-fingerprint lists (``runner/keys.py``) do not cover: editing
     the predictor would not invalidate cached results built from it.
+``trait-backstop-history``
+    A ``predicts_on_btb_miss=True`` kind that also declares
+    ``needs_history=True`` or ``vectorizable=True``.  On a BTB miss the
+    engine has no fetch-time history capture for the branch (the stream
+    kernel likewise feeds backstopped rows a constant zero), so only
+    kinds that contractually ignore history may backstop; and the vector
+    kernel replays routed rows only, so a vectorizable backstop kind
+    would silently drop its BTB-miss predictions.
 """
 
 from __future__ import annotations
@@ -75,6 +83,26 @@ class TraitContractChecker:
             relpath, line = _registration_anchor(reg.module, project)
             traits = reg.traits
 
+            if traits.predicts_on_btb_miss and traits.needs_history:
+                findings.append(
+                    Finding(
+                        "trait-backstop-history", relpath, line,
+                        f"kind '{reg.kind}' declares predicts_on_btb_miss="
+                        "True with needs_history=True; on a BTB miss the "
+                        "engine has no fetch-time history capture, so only "
+                        "history-ignoring kinds may backstop BTB misses",
+                    )
+                )
+            if traits.predicts_on_btb_miss and traits.vectorizable:
+                findings.append(
+                    Finding(
+                        "trait-backstop-history", relpath, line,
+                        f"kind '{reg.kind}' declares predicts_on_btb_miss="
+                        "True with vectorizable=True; the vector kernel "
+                        "replays routed rows only and would drop BTB-miss "
+                        "predictions — leave the kind on the stream tier",
+                    )
+                )
             if traits.vectorizable and not traits.streams_supported:
                 findings.append(
                     Finding(

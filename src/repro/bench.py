@@ -48,6 +48,13 @@ DEFAULT_WORKLOAD = "perl"
 DEFAULT_N_CONFIGS = 12
 DEFAULT_ROUNDS = 3
 
+#: Server-slice scenario: a btb2 L2-geometry sweep on a capacity-bound
+#: workload (the ``repro server_btb`` shape).  btb2 rows are routed on
+#: BTB-missed rows too, so this times the backstop path of the stream
+#: kernel — the one the SPEC-like default workload never exercises.
+SERVER_WORKLOAD = "webserver_like"
+SERVER_L2_ENTRIES = (0, 2048, 4096, 8192)
+
 
 def default_trace_length() -> int:
     """Default instruction count, overridable like the speed guards."""
@@ -100,6 +107,19 @@ def vector_sweep_configs() -> List[EngineConfig]:
         for scheme, history_bits, address_bits in (
             ("gag", 9, 0), ("gas", 8, 1), ("gas", 7, 2), ("gshare", 9, 0),
         )
+    ]
+
+
+def server_sweep_configs() -> List[EngineConfig]:
+    """The ``repro server_btb`` cells: a two-level-BTB L2 geometry sweep."""
+    return [
+        EngineConfig(
+            target_cache=TargetCacheConfig(
+                kind="btb2", entries=64, assoc=4,
+                l2_entries=l2_entries, l2_assoc=8,
+            )
+        )
+        for l2_entries in SERVER_L2_ENTRIES
     ]
 
 
@@ -168,6 +188,32 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
             rounds,
         )
 
+    # Server slice: the btb2 sweep on a capacity-bound trace.  The
+    # backstop trait routes BTB-missed rows through the predictor, so the
+    # stream-kernel subset is much larger here than on the SPEC-like
+    # default workload — this times that path and records the capacity
+    # recovery the sweep exists for.
+    server_trace = get_trace(SERVER_WORKLOAD, n_instructions=trace_length,
+                             seed=seed, use_cache=use_trace_cache)
+    server_decoded = decode_branches(server_trace)
+    server_configs = server_sweep_configs()
+    server_signature = stream_signature(server_configs[0])
+    with sink.span("bench.server", workload=SERVER_WORKLOAD, rounds=rounds):
+        server_build = _min_time(
+            lambda: build_streams(server_decoded, server_signature), rounds
+        )
+        server_streams = build_streams(server_decoded, server_signature)
+        server_warm = _min_time(
+            lambda: [simulate_streamed(server_streams, config)
+                     for config in server_configs],
+            rounds,
+        )
+    server_base = simulate_streamed(server_streams,
+                                    EngineConfig()).indirect_mispred_rate
+    server_best = simulate_streamed(server_streams,
+                                    server_configs[-1]).indirect_mispred_rate
+    n_server = len(server_configs)
+
     n = len(configs)
     payload: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -223,6 +269,24 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
                 "vector_vs_engine": tier_engine / tier_vector,
             },
         },
+        # Server slice: btb2 (backstop) cells on a capacity-bound trace.
+        "server": {
+            "workload": SERVER_WORKLOAD,
+            "n_configs": n_server,
+            "configs": "btb2-l2-sweep",
+            "build_s": server_build,
+            "streams_per_cell_s": server_warm / n_server,
+            "subset_fraction": (
+                server_streams.subset_size / server_streams.n_branches
+                if server_streams.n_branches else 0.0
+            ),
+            "baseline_indirect_mispred": server_base,
+            "btb2_indirect_mispred": server_best,
+            "recovered": (
+                (server_base - server_best) / server_base
+                if server_base else 0.0
+            ),
+        },
     }
     return payload
 
@@ -272,5 +336,14 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"vector {tiers['vector_per_cell_s'] * 1e3:.3f}",
             f"  vector speedup: {tier_speedup['vector_vs_streams']:.1f}x "
             f"vs streams, {tier_speedup['vector_vs_engine']:.1f}x vs engine",
+        ]
+    server = payload.get("server")
+    if server:  # older payloads predate the server slice
+        lines += [
+            f"  server slice ({server['workload']}, {server['n_configs']} "
+            f"btb2 cells): {server['streams_per_cell_s'] * 1e3:.1f} ms/cell, "
+            f"indirect mispred {server['baseline_indirect_mispred']:.1%} -> "
+            f"{server['btb2_indirect_mispred']:.1%} "
+            f"({server['recovered']:.0%} recovered)",
         ]
     return "\n".join(lines)

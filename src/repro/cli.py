@@ -6,6 +6,7 @@ Subcommands::
     repro table1 [options]          # run one experiment and print its table
     repro all [options]             # run every experiment
     repro predictors                # registered predictor kinds and traits
+    repro workloads [name]          # workload calibration + footprint stats
     repro sweep --spec FILE [opts]  # run ad-hoc cells from a spec JSON file
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
@@ -61,7 +62,12 @@ from repro.experiments.common import (
     run_experiment,
 )
 from repro.guest.disasm import disassemble_program
-from repro.trace.stats import branch_mix, indirect_target_histogram, transition_rate
+from repro.trace.stats import (
+    branch_mix,
+    footprint,
+    indirect_target_histogram,
+    transition_rate,
+)
 from repro.workloads import build_program, get_trace, workload_names
 
 
@@ -73,11 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         help="experiment name, 'all', 'list', 'predictors', "
-                             "'sweep', 'trace', 'dump', 'lint', 'bench', "
-                             "'serve', 'loadgen', or 'report'")
+                             "'workloads', 'sweep', 'trace', 'dump', 'lint', "
+                             "'bench', 'serve', 'loadgen', or 'report'")
     parser.add_argument("workload", nargs="?",
-                        help="workload name (for 'trace', 'dump', 'bench') "
-                             "or ledger path (for 'report')")
+                        help="workload name (for 'trace', 'dump', 'bench', "
+                             "'workloads') or ledger path (for 'report')")
     parser.add_argument("--spec", default=None, metavar="FILE",
                         help="spec JSON file (sweep command)")
     parser.add_argument("--head", type=int, default=80,
@@ -175,7 +181,7 @@ def _cmd_list() -> int:
     print("experiments:")
     for name in names:
         print(f"  {name:<{width}}  {_experiment_description(name)}")
-    workloads = workload_names(include_oo=True)
+    workloads = workload_names(include_oo=True, include_server=True)
     width = max(len(name) for name in workloads)
     print("workloads:")
     for name in workloads:
@@ -210,6 +216,52 @@ def _cmd_predictors() -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    """Mirror of ``repro predictors`` for the workload registry.
+
+    Prints each workload's calibration targets (the Table-1-style
+    misprediction rate and the Figures 1-8 histogram shape recorded in its
+    :class:`~repro.workloads.registry.WorkloadSpec`) next to *measured*
+    footprint statistics of its trace (static site counts and per-site
+    reuse, :func:`repro.trace.stats.footprint`).  Traces come from the
+    disk cache, so only the first invocation pays for generation.
+    """
+    from repro.workloads import workload_spec
+    from repro.workloads.registry import OO_WORKLOADS, SERVER_WORKLOADS
+
+    if args.workload:
+        try:
+            workload_spec(args.workload)
+        except KeyError as exc:
+            print(f"repro workloads: {exc.args[0]}", file=sys.stderr)
+            return 2
+        names = [args.workload]
+    else:
+        names = workload_names(include_oo=True, include_server=True)
+    length = args.trace_length or 400_000
+    print("registered workloads:")
+    for name in names:
+        spec = workload_spec(name)
+        family = ("server" if name in SERVER_WORKLOADS
+                  else "oo" if name in OO_WORKLOADS else "spec")
+        print(f"  {name}  [{family}]")
+        print(f"      {spec.description}")
+        source = ("paper Table 1" if family == "spec"
+                  else "measured, no paper number")
+        print(f"      calibration: BTB indirect mispredict "
+              f"{spec.paper_btb_mispred:.1%} ({source}), "
+              f"target shape: {spec.paper_target_shape}")
+        trace = get_trace(name, n_instructions=length, seed=args.seed,
+                          use_cache=not args.no_cache)
+        fp = footprint(trace)
+        print(f"      footprint: {fp.static_branch_sites} static branch "
+              f"sites ({fp.static_indirect_sites} indirect); per-site "
+              f"reuse {fp.branch_site_reuse:,.0f}x "
+              f"({fp.indirect_site_reuse:,.0f}x indirect) over "
+              f"{len(trace):,} instructions")
+    return 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     if not args.workload:
         print("usage: repro dump <workload> [--head N]", file=sys.stderr)
@@ -239,6 +291,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"  indirect jumps: {mix.indirect_jumps} "
           f"({mix.indirect_fraction:.2%})")
     print(f"  returns: {mix.returns}, calls: {mix.calls}")
+    fp = footprint(trace)
+    print(f"  static branch sites: {fp.static_branch_sites} "
+          f"({fp.static_indirect_sites} indirect)")
+    print(f"  per-site reuse: {fp.branch_site_reuse:,.0f}x branches, "
+          f"{fp.indirect_site_reuse:,.0f}x indirect")
     print(f"  last-target transition rate: {transition_rate(trace):.1%}")
     histogram = indirect_target_histogram(trace)
     busy = {k: round(v, 1) for k, v in histogram.items() if v > 0.5}
@@ -514,6 +571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "predictors":
         return _cmd_predictors()
+    if args.command == "workloads":
+        return _cmd_workloads(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "report":

@@ -57,6 +57,7 @@ EXPERIMENT_MODULES: Dict[str, str] = {
     "cascaded": "repro.experiments.cascaded",
     "modern": "repro.experiments.modern",
     "capacity": "repro.experiments.capacity",
+    "server_btb": "repro.experiments.server_btb",
     "calibration": "repro.experiments.calibration",
 }
 

@@ -67,6 +67,21 @@ def tagged_engine(assoc: int, indexing: TaggedIndexing = TaggedIndexing.HISTORY_
     )
 
 
+def btb2_engine(entries: int = 64, assoc: int = 4, l2_entries: int = 4096,
+                l2_assoc: int = 8) -> EngineConfig:
+    """A two-level BTB (small L1 backed by a large last-level BTB).
+
+    The server-scale capacity configuration (``repro server_btb``); it
+    uses no history, so the default :class:`HistoryConfig` is kept.
+    """
+    return EngineConfig(
+        target_cache=TargetCacheConfig(
+            kind="btb2", entries=entries, assoc=assoc,
+            l2_entries=l2_entries, l2_assoc=l2_assoc,
+        ),
+    )
+
+
 #: The path-history scheme labels of the paper's Tables 5, 6 and 8.
 PATH_SCHEME_LABELS = ("per-addr", "branch", "control", "ind jmp", "call/ret")
 
@@ -109,6 +124,10 @@ PRESETS: Dict[str, Spec] = {
         "target_cache": {"kind": "ittage", "entries": 128},
         "history": {"source": "path_global", "bits": 48,
                     "path_filter": "control"},
+    },
+    "btb2-micro": {
+        "target_cache": {"kind": "btb2", "entries": 64, "assoc": 4,
+                         "l2_entries": 4096, "l2_assoc": 8},
     },
     "oracle": {"target_cache": {"kind": "oracle"}},
     "last-target": {"target_cache": {"kind": "last_target"}},

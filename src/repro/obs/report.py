@@ -34,6 +34,8 @@ _BENCH_TIME_METRICS = (
     "tiers.engine_per_cell_s",
     "tiers.streams_per_cell_s",
     "tiers.vector_per_cell_s",
+    "server.build_s",
+    "server.streams_per_cell_s",
 )
 
 #: Bench metrics where *higher is better*; reported, never gating (they
@@ -43,6 +45,7 @@ _BENCH_INFO_METRICS = (
     "speedup.including_build",
     "tiers.speedup.vector_vs_streams",
     "tiers.speedup.vector_vs_engine",
+    "server.recovered",
 )
 
 

@@ -37,6 +37,7 @@ This package implements every prediction structure the paper simulates:
 """
 
 from repro.predictors.btb import BranchTargetBuffer, BTBEntry, UpdateStrategy
+from repro.predictors.btb2 import TwoLevelBTB
 from repro.predictors.direction import DirectionConfig, DirectionPredictor
 from repro.predictors.engine import (
     DecodedBranches,
@@ -103,6 +104,7 @@ __all__ = [
     "BranchTargetBuffer",
     "BTBEntry",
     "UpdateStrategy",
+    "TwoLevelBTB",
     "DirectionPredictor",
     "DirectionConfig",
     "EngineConfig",

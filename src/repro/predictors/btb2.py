@@ -1,0 +1,162 @@
+"""Two-level BTB: a small L1 backed by a large last-level BTB.
+
+The paper's capacity regime is benign — eight SPEC-like traces fit their
+working sets comfortably inside a 256-set x 4-way BTB, so indirect
+mispredicts come from target *polymorphism*, not from the BTB forgetting
+the branch existed.  Server-scale code footprints invert that: thousands
+of static branch sites thrash a first-level BTB long before any target
+cache gets a say, and every capacity eviction turns into a fall-through
+mispredict.  *Micro BTB* and the FDIP line of work (see PAPERS.md) answer
+with hierarchy: a tiny fast L1 BTB backed by a large last-level BTB, with
+L1 misses triggering a probe (and prefetch-fill) of the backing level.
+
+:class:`TwoLevelBTB` models that structure as a registered target-cache
+kind (``kind="btb2"``).  Its registration sets the
+``predicts_on_btb_miss`` trait, so the fetch engine consults it even when
+the primary BTB missed — the last-level BTB is precisely the structure
+that still identifies the branch in that case.  Both levels are pc-indexed
+set-associative true-LRU arrays (the same insertion-ordered-dict idiom as
+:class:`~repro.predictors.btb.BranchTargetBuffer`); ``history`` is
+ignored, declared via ``needs_history=False``.
+
+Prediction semantics, per fetch of an indirect jump at ``pc``:
+
+* L1 hit — predict the stored target (and refresh L1 recency);
+* L1 miss, L2 hit — prefetch-fill the entry into L1 and predict the L2
+  target (this retire-order model charges no fetch bubble for the slower
+  level; the capacity story is about mispredicts, not L2 latency);
+* both miss — structural miss (``None``): the engine falls back to the
+  primary BTB's stored target, or to fall-through when that missed too.
+
+Updates write through both levels (the hierarchy is inclusive), replacing
+the stored target unconditionally — last-target semantics, like the
+baseline BTB's ``DEFAULT`` strategy.  ``l2_entries=0`` disables the
+backing level entirely, giving an L1-only baseline for capacity sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.guest.isa import INSTRUCTION_BYTES
+from repro.predictors.target_cache.base import TargetPredictor
+
+__all__ = ["TwoLevelBTB"]
+
+
+class _BTBLevel:
+    """One pc-indexed set-associative target array with true-LRU sets.
+
+    Each set is an insertion-ordered dict ``tag -> target``; the first key
+    is the LRU victim and hits reinsert to refresh recency (the same idiom
+    as :class:`~repro.predictors.btb.BranchTargetBuffer`).
+    """
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        if assoc <= 0:
+            raise ValueError("assoc must be positive")
+        if entries <= 0 or entries % assoc:
+            raise ValueError("entries must be a positive multiple of assoc")
+        sets = entries // assoc
+        if sets & (sets - 1):
+            raise ValueError("entries/assoc must be a power of two")
+        self.entries = entries
+        self.assoc = assoc
+        self.sets = sets
+        self._set_mask = sets - 1
+        self._set_bits = sets.bit_length() - 1
+        self._storage: List[Dict[int, int]] = [dict() for _ in range(sets)]
+
+    def lookup(self, word: int) -> Optional[int]:
+        """Stored target for instruction-word ``word`` (refreshing LRU)."""
+        bucket = self._storage[word & self._set_mask]
+        tag = word >> self._set_bits
+        target = bucket.get(tag)
+        if target is None:
+            return None
+        del bucket[tag]  # refresh recency: reinsert as newest
+        bucket[tag] = target
+        return target
+
+    def insert(self, word: int, target: int) -> None:
+        """Store ``target`` for ``word``, evicting LRU on a full set."""
+        bucket = self._storage[word & self._set_mask]
+        tag = word >> self._set_bits
+        if tag in bucket:
+            del bucket[tag]
+        elif len(bucket) >= self.assoc:
+            del bucket[next(iter(bucket))]
+        bucket[tag] = target
+
+    def occupancy(self) -> int:
+        """Number of valid entries (for tests)."""
+        return sum(len(bucket) for bucket in self._storage)
+
+    def reset(self) -> None:
+        for bucket in self._storage:
+            bucket.clear()
+
+
+class TwoLevelBTB(TargetPredictor):
+    """Small L1 BTB backed by a large last-level BTB (``kind="btb2"``).
+
+    ``entries``/``assoc`` size the L1, ``l2_entries``/``l2_assoc`` the
+    backing level; ``l2_entries=0`` disables it.  ``history`` is ignored
+    (the registration declares ``needs_history=False``).  The per-level
+    hit counters feed the capacity-story columns of
+    :mod:`repro.experiments.server_btb`.
+    """
+
+    def __init__(self, entries: int = 64, assoc: int = 4,
+                 l2_entries: int = 4096, l2_assoc: int = 8) -> None:
+        if l2_entries < 0:
+            raise ValueError("l2_entries must be >= 0 (0 disables the L2)")
+        self._l1 = _BTBLevel(entries, assoc)
+        self._l2: Optional[_BTBLevel] = (
+            _BTBLevel(l2_entries, l2_assoc) if l2_entries else None
+        )
+        self.lookups = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, history: int) -> Optional[int]:
+        word = pc // INSTRUCTION_BYTES
+        self.lookups += 1
+        target = self._l1.lookup(word)
+        if target is not None:
+            self.l1_hits += 1
+            return target
+        l2 = self._l2
+        if l2 is not None:
+            target = l2.lookup(word)
+            if target is not None:
+                self.l2_hits += 1
+                # miss-triggered prefetch: fill the L1 from the last level
+                self._l1.insert(word, target)
+                return target
+        return None
+
+    def update(self, pc: int, history: int, target: int) -> None:
+        word = pc // INSTRUCTION_BYTES
+        self._l1.insert(word, target)
+        if self._l2 is not None:
+            self._l2.insert(word, target)
+
+    def reset(self) -> None:
+        self._l1.reset()
+        if self._l2 is not None:
+            self._l2.reset()
+        self.lookups = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of all lookups served by the backing level."""
+        return self.l2_hits / self.lookups if self.lookups else 0.0

@@ -222,10 +222,12 @@ class FetchEngine:
         self.ras = ReturnAddressStack(depth=config.ras_depth)
         self.target_cache: Optional[TargetPredictor] = None
         self._oracle = False
+        self._backstop = False
         if config.target_cache is not None:
             reg = registration(config.target_cache.kind)
             self.target_cache = reg.factory(config.target_cache)
             self._oracle = reg.traits.is_oracle
+            self._backstop = reg.traits.predicts_on_btb_miss
         history = config.history
         pattern_bits = max(config.direction.history_bits, history.bits)
         self.pattern_history = PatternHistoryRegister(pattern_bits)
@@ -280,7 +282,20 @@ class FetchEngine:
         popped_ras = False
 
         if entry is None:
-            predicted = fallthrough
+            if self._backstop and kind in self._tc_kinds and (
+                cache := self.target_cache
+            ) is not None:
+                # A predicts_on_btb_miss kind (two-level BTB) still
+                # identifies the branch when the primary BTB misses: its
+                # backing level is pc-tagged, so it only answers for
+                # indirect jumps it was trained on.  Prediction-only — no
+                # BTB/RAS/history state changes.  The history argument is
+                # contractually ignored (needs_history=False, enforced by
+                # the trait-contract lint rule).
+                guess = cache.predict(pc, 0)
+                predicted = guess if guess is not None else fallthrough
+            else:
+                predicted = fallthrough
         else:
             entry_kind = entry.kind
             if entry_kind is BranchKind.COND_DIRECT:

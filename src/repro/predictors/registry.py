@@ -31,6 +31,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple, Type
 
+from repro.predictors.btb2 import TwoLevelBTB
 from repro.predictors.indexing import parse_scheme
 from repro.predictors.target_cache.base import TargetPredictor
 from repro.predictors.target_cache.cascaded import CascadedTargetCache
@@ -90,6 +91,16 @@ class PredictorTraits:
         :meth:`~repro.predictors.target_cache.base.TargetPredictor.prime`
         with the actual target immediately before the fetch-time
         ``predict``.
+    ``predicts_on_btb_miss``
+        The predictor still identifies the branch when the primary BTB
+        misses, so the engine consults it on BTB-missed indirect jumps
+        instead of predicting fall-through (the two-level-BTB family: the
+        backing level is itself a pc-tagged structure).  Requires
+        ``needs_history=False`` — on a BTB miss the engine has no
+        fetch-time history capture for the branch, so only kinds that
+        contractually ignore the history value may backstop it (enforced
+        by the ``trait-contract`` lint checker).  Prediction-only: the
+        backstop never changes BTB, RAS, or history state.
     ``deterministic``
         The predictor's outputs are a pure function of its inputs (all
         internal randomness is seeded).  Required for result-cache
@@ -108,6 +119,7 @@ class PredictorTraits:
     streams_supported: bool = True
     vectorizable: bool = False
     is_oracle: bool = False
+    predicts_on_btb_miss: bool = False
     deterministic: bool = True
     spec_fields: Tuple[str, ...] = ()
 
@@ -338,6 +350,22 @@ def _label_ittage(config: TargetCacheConfig) -> str:
     return f"ittage(4x{1 << _ittage_table_bits(config)})"
 
 
+def _build_btb2(config: TargetCacheConfig) -> TargetPredictor:
+    return TwoLevelBTB(
+        entries=config.entries,
+        assoc=config.assoc,
+        l2_entries=config.l2_entries,
+        l2_assoc=config.l2_assoc,
+    )
+
+
+def _label_btb2(config: TargetCacheConfig) -> str:
+    l1 = f"{config.entries}e/{config.assoc}w"
+    if not config.l2_entries:
+        return f"btb2({l1},no-L2)"
+    return f"btb2({l1}+{config.l2_entries}e/{config.l2_assoc}w)"
+
+
 def _build_oracle(config: TargetCacheConfig) -> TargetPredictor:
     return OracleTargetPredictor()
 
@@ -416,6 +444,29 @@ register(
     spec_examples=(
         TargetCacheConfig(kind="ittage", entries=128),
         TargetCacheConfig(kind="ittage", entries=32),
+    ),
+)
+
+register(
+    "btb2",
+    factory=_build_btb2,
+    traits=PredictorTraits(
+        description="two-level BTB: small L1 backed by a large last-level "
+                    "BTB with miss-triggered prefetch (Micro BTB lineage)",
+        # pc-tagged at both levels: the history value is ignored, and the
+        # backing level still identifies the branch when the primary BTB
+        # misses — so the engine backstops BTB misses with this kind.
+        needs_history=False,
+        predicts_on_btb_miss=True,
+        spec_fields=("entries", "assoc", "l2_entries", "l2_assoc"),
+    ),
+    provides=(TwoLevelBTB,),
+    label=_label_btb2,
+    spec_examples=(
+        TargetCacheConfig(kind="btb2", entries=64, assoc=4),
+        TargetCacheConfig(kind="btb2", entries=64, assoc=4,
+                          l2_entries=8192, l2_assoc=8),
+        TargetCacheConfig(kind="btb2", entries=64, assoc=4, l2_entries=0),
     ),
 )
 

@@ -101,9 +101,11 @@ _PER_ADDRESS_KIND_VALUES = frozenset(int(kind) for kind in _TARGET_CACHE_KINDS)
 _N_KINDS = max(BranchKind) + 1
 
 #: One target-cache-relevant row, pre-unpacked for the cell kernel:
-#: (pc, kind value, target, next_pc, BTB fallback target, routed-at-fetch,
-#:  updates-the-cache, trace row index).
-_SubsetRow = Tuple[int, int, int, int, int, bool, bool, int]
+#: (pc, kind value, target, next_pc, fallback prediction, routed-at-fetch,
+#:  updates-the-cache, trace row index, BTB-missed).  The fallback is the
+#: BTB's stored target on routed rows and the fall-through address on
+#: BTB-missed rows (read only by ``predicts_on_btb_miss`` kinds there).
+_SubsetRow = Tuple[int, int, int, int, int, bool, bool, int, bool]
 
 
 @dataclass(frozen=True)
@@ -124,6 +126,7 @@ class SubsetColumns:
     routed: "npt.NDArray[np.bool_]"
     updates: "npt.NDArray[np.bool_]"
     rows: "npt.NDArray[np.int64]"
+    btb_missed: "npt.NDArray[np.bool_]"
     #: 0..n-1, cached so per-cell kernels skip the arange
     positions: "npt.NDArray[np.int64]"
 
@@ -193,6 +196,8 @@ class BranchStreams:
                  fixed_mispredicts_by_kind: "npt.NDArray[np.int64]",
                  base_mispredict_rows: "npt.NDArray[np.int64]",
                  fixed_mispredict_rows: "npt.NDArray[np.int64]",
+                 backstop_fixed_mispredicts_by_kind: "npt.NDArray[np.int64]",
+                 backstop_fixed_mispredict_rows: "npt.NDArray[np.int64]",
                  subset_indices: "npt.NDArray[np.int64]",
                  subset_selectors: "npt.NDArray[np.int8]",
                  subset_rows: List[_SubsetRow]) -> None:
@@ -213,6 +218,14 @@ class BranchStreams:
         #: trace row indices behind the two mispredict counters above
         self.base_mispredict_rows = base_mispredict_rows
         self.fixed_mispredict_rows = fixed_mispredict_rows
+        #: like the fixed counters, but additionally excluding BTB-missed
+        #: target-cache rows — those become variable for a kind whose
+        #: traits declare ``predicts_on_btb_miss`` (the engine consults
+        #: the cache there instead of predicting fall-through)
+        self.backstop_fixed_mispredicts_by_kind = (
+            backstop_fixed_mispredicts_by_kind
+        )
+        self.backstop_fixed_mispredict_rows = backstop_fixed_mispredict_rows
         #: positions (into the decoded branch arrays) of the target-cache
         #: relevant subset, plus each row's history-snapshot selector
         self.subset_indices = subset_indices
@@ -238,7 +251,7 @@ class BranchStreams:
         if cached is None:
             matrix = np.array(self.subset_rows, dtype=np.int64)
             if matrix.size == 0:
-                matrix = matrix.reshape(0, 8)  # the 8 _SubsetRow fields
+                matrix = matrix.reshape(0, 9)  # the 9 _SubsetRow fields
             cached = SubsetColumns(
                 pcs=matrix[:, 0].copy(),
                 kind_values=matrix[:, 1].copy(),
@@ -248,6 +261,7 @@ class BranchStreams:
                 routed=matrix[:, 5].astype(bool),
                 updates=matrix[:, 6].astype(bool),
                 rows=matrix[:, 7].copy(),
+                btb_missed=matrix[:, 8].astype(bool),
                 positions=np.arange(len(matrix), dtype=np.int64),
             )
             self._columns = cached
@@ -378,7 +392,7 @@ class BranchStreams:
         out = [0] * len(selectors)
         get_register = registers.get
         for j, (pc, kind_value, target, _next_pc, _fallback, _routed,
-                _updates, _row) in enumerate(self.subset_rows):
+                _updates, _row, _btb_missed) in enumerate(self.subset_rows):
             selector = selectors[j]
             value = get_register(pc, 0)
             if selector == _SEL_PRE:
@@ -461,6 +475,8 @@ def build_streams(decoded: DecodedBranches,
     append_selector = subset_selector.append
     routed_positions: List[int] = []
     append_routed = routed_positions.append
+    missed_positions: List[int] = []
+    append_missed = missed_positions.append
 
     for i, (row, pc, kind, taken, target, next_pc) in enumerate(zip(
         decoded.rows, decoded.pcs, decoded.kinds, decoded.takens,
@@ -504,12 +520,19 @@ def build_streams(decoded: DecodedBranches,
             pattern = ((pattern << 1) | (1 if taken else 0)) & _WIDE_MASK
         updates_cache = kind in tc_kinds
         if updates_cache or routed:
+            btb_missed = False
+            fallback = stored_target
             if not updates_cache:
                 selector = sel_pre
             elif not hit:
                 # no fetch-time access happened; the engine indexes with
-                # the history as of resolve (after this branch's updates)
+                # the history as of resolve (after this branch's updates).
+                # A predicts_on_btb_miss kind still predicts here, falling
+                # back to fall-through when it too structurally misses.
                 selector = sel_post
+                btb_missed = True
+                fallback = fallthrough
+                append_missed(i)
             elif routed:
                 selector = sel_pre
             else:
@@ -518,8 +541,8 @@ def build_streams(decoded: DecodedBranches,
                 selector = sel_zero
             append_index(i)
             append_selector(selector)
-            append_subset((pc, int(kind), target, next_pc, stored_target,
-                           routed, updates_cache, row))
+            append_subset((pc, int(kind), target, next_pc, fallback,
+                           routed, updates_cache, row, btb_missed))
             if routed:
                 append_routed(i)
         if kind is return_kind and not popped_ras:
@@ -537,8 +560,12 @@ def build_streams(decoded: DecodedBranches,
     routed_mask = np.zeros(n, dtype=bool)
     if routed_positions:
         routed_mask[np.asarray(routed_positions, dtype=np.int64)] = True
+    missed_mask = np.zeros(n, dtype=bool)
+    if missed_positions:
+        missed_mask[np.asarray(missed_positions, dtype=np.int64)] = True
     rows = np.asarray(decoded.rows, dtype=np.int64)
     fixed = mispredicted & ~routed_mask
+    backstop_fixed = fixed & ~missed_mask
     return BranchStreams(
         decoded=decoded,
         config=config,
@@ -553,6 +580,10 @@ def build_streams(decoded: DecodedBranches,
         ),
         base_mispredict_rows=rows[mispredicted],
         fixed_mispredict_rows=rows[fixed],
+        backstop_fixed_mispredicts_by_kind=np.bincount(
+            kind_values[backstop_fixed], minlength=_N_KINDS
+        ),
+        backstop_fixed_mispredict_rows=rows[backstop_fixed],
         subset_indices=np.asarray(subset_index, dtype=np.int64),
         subset_selectors=np.asarray(subset_selector, dtype=np.int8),
         subset_rows=subset_rows,
@@ -586,9 +617,18 @@ def simulate_streamed(streams: BranchStreams, config: EngineConfig,
         fixed = streams.base_mispredicts_by_kind
         fixed_rows = streams.base_mispredict_rows
     else:
-        fixed = streams.fixed_mispredicts_by_kind
-        fixed_rows = streams.fixed_mispredict_rows
         reg = registration(config.target_cache.kind)
+        backstop = reg.traits.predicts_on_btb_miss
+        if backstop:
+            # BTB-missed target-cache rows are variable for this kind: the
+            # engine consults the cache there instead of predicting
+            # fall-through, so their base-walk mispredicts must not be
+            # double-counted as fixed.
+            fixed = streams.backstop_fixed_mispredicts_by_kind
+            fixed_rows = streams.backstop_fixed_mispredict_rows
+        else:
+            fixed = streams.fixed_mispredicts_by_kind
+            fixed_rows = streams.fixed_mispredict_rows
         cache = reg.factory(config.target_cache)
         predict = cache.predict
         update = cache.update
@@ -603,9 +643,9 @@ def simulate_streamed(streams: BranchStreams, config: EngineConfig,
         )
         append_row = mispredict_rows.append
         for history, (pc, kind_value, target, next_pc, fallback, routed,
-                      updates_cache, row) in zip(histories,
-                                                 streams.subset_rows):
-            if routed:
+                      updates_cache, row, btb_missed) in zip(
+                          histories, streams.subset_rows):
+            if routed or (backstop and btb_missed):
                 if prime is not None:
                     prime(target)
                 guess = predict(pc, history)

@@ -38,6 +38,10 @@ class TargetCacheConfig:
     * ``"ittage"`` — ITTAGE-lite, the modern multi-table descendant
       (``history_bits`` caps the folded history; table geometry uses
       ``entries`` as the per-component size, assoc ignored).
+    * ``"btb2"`` — two-level BTB: a small L1 (``entries``/``assoc``)
+      backed by a large last-level BTB (``l2_entries``/``l2_assoc``) with
+      miss-triggered prefetch into L1; ``l2_entries=0`` disables the
+      backing level (see :mod:`repro.predictors.btb2`).
     * ``"oracle"`` / ``"last_target"`` — bounding predictors.
 
     Each registered kind declares which fields it consumes in its traits'
@@ -55,6 +59,9 @@ class TargetCacheConfig:
     indexing: TaggedIndexing = TaggedIndexing.HISTORY_XOR
     tag_bits: Optional[int] = None
     replacement: str = "lru"
+    # two-level-BTB parameters (the backing level; 0 disables it)
+    l2_entries: int = 4096
+    l2_assoc: int = 8
 
     def label(self) -> str:
         """Human-readable name used in experiment tables.

@@ -79,7 +79,10 @@ def vector_supported(config: EngineConfig) -> bool:
     target_cache = config.target_cache
     if target_cache is None:
         return True
-    return registration(target_cache.kind).traits.vectorizable
+    traits = registration(target_cache.kind).traits
+    # The vector kernel only replays routed rows; a predicts_on_btb_miss
+    # kind also predicts on BTB-missed rows, which it cannot express.
+    return traits.vectorizable and not traits.predicts_on_btb_miss
 
 
 def _last_write_predictions(

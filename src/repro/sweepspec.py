@@ -67,7 +67,7 @@ def _require_string_list(value: Any, where: str) -> List[str]:
 def _known_benchmarks() -> List[str]:
     from repro.workloads import workload_names
 
-    return list(workload_names(include_oo=True))
+    return list(workload_names(include_oo=True, include_server=True))
 
 
 def _check_benchmarks(names: List[str], where: str,

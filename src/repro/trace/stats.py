@@ -49,6 +49,53 @@ class BranchMix:
         return self.indirect_jumps / self.instructions if self.instructions else 0.0
 
 
+@dataclass(frozen=True)
+class Footprint:
+    """Static-site footprint of a trace — the server-workload regime axis.
+
+    The paper's Table 1 characterises workloads by dynamic rates; what
+    separates the server-like family (huge code footprints, BTB *capacity*
+    misses) from the SPEC-like family (hot loops, target polymorphism) is
+    the number of distinct *static* branch sites competing for BTB entries
+    and how often each is revisited.  ``static_branch_sites`` against the
+    1024-entry baseline BTB predicts whether capacity misses can occur at
+    all; low per-site reuse means evicted entries rarely earn their refill.
+    """
+
+    #: distinct static pcs of any branch kind (what competes for BTB entries)
+    static_branch_sites: int
+    #: distinct static pcs of target-cache-predicted indirect jumps
+    static_indirect_sites: int
+    dynamic_branches: int
+    dynamic_indirect_jumps: int
+
+    @property
+    def branch_site_reuse(self) -> float:
+        """Mean dynamic executions per static branch site."""
+        if not self.static_branch_sites:
+            return 0.0
+        return self.dynamic_branches / self.static_branch_sites
+
+    @property
+    def indirect_site_reuse(self) -> float:
+        """Mean dynamic executions per static indirect-jump site."""
+        if not self.static_indirect_sites:
+            return 0.0
+        return self.dynamic_indirect_jumps / self.static_indirect_sites
+
+
+def footprint(trace: Trace) -> Footprint:
+    """Compute the static-site footprint of ``trace``."""
+    branch_mask = trace.branch_kind != int(BranchKind.NOT_BRANCH)
+    indirect_mask = trace.is_indirect_jump
+    return Footprint(
+        static_branch_sites=int(np.unique(trace.pc[branch_mask]).size),
+        static_indirect_sites=int(np.unique(trace.pc[indirect_mask]).size),
+        dynamic_branches=int(branch_mask.sum()),
+        dynamic_indirect_jumps=int(indirect_mask.sum()),
+    )
+
+
 def branch_mix(trace: Trace) -> BranchMix:
     """Compute the dynamic branch mix of ``trace``."""
     kinds = trace.branch_kind

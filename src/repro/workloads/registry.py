@@ -170,14 +170,63 @@ OO_WORKLOADS: Dict[str, WorkloadSpec] = {
     ]
 }
 
+#: Server-scale workloads (ROADMAP open item 2): huge static branch
+#: footprints with Zipf-skewed, low per-site reuse that thrash BTB
+#: *capacity* rather than stressing target polymorphism.  Kept in their
+#: own registry so the SPECint95 tables stay exactly eight rows;
+#: ``repro.experiments.server_btb`` sweeps them.  There are no paper
+#: numbers for this regime: the recorded rates are measured on the
+#: default 400k-instruction traces (baseline ``EngineConfig()``) and pin
+#: the generator the way Table 1 pins the SPEC-like family.
+SERVER_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="webserver_like",
+            module="repro.workloads.server_like",
+            params_class="WebserverParams",
+            build_function="build",
+            description="URL-route fan-out: hundreds of handler chains, "
+                        "hot head, long cold tail (Zipf s=1.1)",
+            paper_btb_mispred=0.418,  # measured, not a paper number
+            paper_target_shape="few",
+        ),
+        WorkloadSpec(
+            name="db_like",
+            module="repro.workloads.server_like",
+            params_class="DbParams",
+            build_function="build",
+            description="query plans: deeper call chains with 2-way "
+                        "polymorphic operator dispatch, flatter skew",
+            paper_btb_mispred=0.731,  # measured, not a paper number
+            paper_target_shape="moderate",
+        ),
+        WorkloadSpec(
+            name="rpc_like",
+            module="repro.workloads.server_like",
+            params_class="RpcParams",
+            build_function="build",
+            description="microservice stubs: very many tiny methods, "
+                        "near-uniform traffic, lowest per-site reuse",
+            paper_btb_mispred=0.739,  # measured, not a paper number
+            paper_target_shape="few",
+        ),
+    ]
+}
+
 #: Combined lookup used by get_trace / build_program.
-_ALL_WORKLOADS: Dict[str, WorkloadSpec] = {**WORKLOADS, **OO_WORKLOADS}
+_ALL_WORKLOADS: Dict[str, WorkloadSpec] = {
+    **WORKLOADS, **OO_WORKLOADS, **SERVER_WORKLOADS,
+}
 
 
-def workload_names(include_oo: bool = False) -> List[str]:
+def workload_names(include_oo: bool = False,
+                   include_server: bool = False) -> List[str]:
     names = sorted(WORKLOADS)
     if include_oo:
         names += sorted(OO_WORKLOADS)
+    if include_server:
+        names += sorted(SERVER_WORKLOADS)
     return names
 
 
@@ -186,7 +235,7 @@ def workload_spec(name: str) -> WorkloadSpec:
     if name not in _ALL_WORKLOADS:
         raise KeyError(
             f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True))}"
+            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
         )
     return _ALL_WORKLOADS[name]
 
@@ -196,7 +245,7 @@ def build_program(name: str, seed: Optional[int] = None) -> GuestProgram:
     if name not in _ALL_WORKLOADS:
         raise KeyError(
             f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True))}"
+            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
         )
     return _ALL_WORKLOADS[name].build(seed=seed)
 
@@ -212,7 +261,7 @@ def get_trace(name: str, n_instructions: int = 400_000, seed: int = 1997,
     if name not in _ALL_WORKLOADS:
         raise KeyError(
             f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True))}"
+            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
         )
 
     def generate() -> Trace:
@@ -238,7 +287,7 @@ def trace_fingerprint(name: str, n_instructions: int = 400_000,
     if name not in _ALL_WORKLOADS:
         raise KeyError(
             f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True))}"
+            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
         )
     fingerprint = _code_fingerprint(_ALL_WORKLOADS[name].module)
     return f"{name}_n{n_instructions}_s{seed}_{fingerprint}"

@@ -1,0 +1,216 @@
+"""Server-like workload family: huge code footprints that thrash BTB capacity.
+
+The paper's eight SPEC-like workloads stress target *polymorphism*: a
+handful of hot indirect-jump sites whose targets change.  Their static
+branch footprints fit comfortably inside the baseline 256-set x 4-way BTB,
+so the BTB never forgets a branch exists.  Modern server binaries invert
+the problem (PAPERS.md: *Micro BTB*, *FDIP Revisited*): request processing
+fans out over thousands of lukewarm static branch sites with Zipf-skewed,
+low per-site reuse, and the dominant indirect-jump loss is the BTB
+*capacity* miss — the fetch engine predicts fall-through because the
+branch's entry was evicted, even though its target never changed.
+
+One generator core serves three presets, differing only in shape knobs:
+
+* ``webserver_like`` — many routes, moderate handler depth, strong Zipf
+  skew (a hot home page plus a long tail);
+* ``db_like`` — fewer but deeper query plans, mildly polymorphic operator
+  dispatch (``poly_ops=2``), flatter skew;
+* ``rpc_like`` — very many tiny methods, shallow, nearly uniform traffic:
+  the most extreme footprint / lowest per-site reuse of the three.
+
+Guest structure, per simulated request:
+
+1. read ``(route, payload)`` from a host-generated script table (Zipf
+   draws via :func:`repro.workloads.support.zipf_weights`);
+2. "parse" the payload with a short conditional-branch chain
+   (:func:`~repro.workloads.support.emit_operand_pad`);
+3. dispatch through one shared indirect-call site into the route's
+   handler (``callr`` via a route table — the one genuinely polymorphic
+   site, up to ``n_routes`` targets);
+4. the handler is a *nested* chain of ``n_stages`` stage functions
+   (deep call graph); every stage runs pad work, tests payload bits, and
+   makes one indirect call through its own private data slot to a shared
+   leaf function — ``n_routes * n_stages`` distinct static indirect-call
+   sites, each monomorphic (``poly_ops=1``) or 2-way (``poly_ops=2``).
+
+Calibration: the monomorphic stage sites never mispredict while their BTB
+entries survive, so the baseline Table-1-style BTB misprediction rate of
+these workloads is almost entirely *capacity-driven* — the knob is the
+ratio of static branch sites (``n_routes * n_stages`` stages x ~5 sites
+each) to the 1024-entry baseline BTB, and the Zipf exponent controls how
+fast the tail churns the sets.  The rates recorded in
+``SERVER_WORKLOADS`` are measured on the default 400k-instruction traces
+(there is no paper number for this regime; they pin the generator the way
+Table 1 pins the SPEC-like family).  ``repro workloads`` prints them next
+to the measured footprint metrics from :mod:`repro.trace.stats`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.guest.builder import ProgramBuilder
+from repro.guest.isa import GuestProgram
+from repro.workloads import support
+from repro.workloads.support import RNG, T0, T1, T2
+
+# Guest registers (see the conventions note in workloads/support.py)
+REQ = 10    # request index into the script
+ROUTE = 13  # current request's route id
+PAY = 14    # current request's payload word
+ACC = 20
+
+
+@dataclass(frozen=True)
+class ServerParams:
+    """Shape knobs shared by the server presets (see the module docstring).
+
+    ``n_routes * n_stages`` sets the static-site footprint; ``zipf_s``
+    sets how skewed the per-route traffic is (larger = hotter head,
+    colder tail); ``poly_ops`` (1 or 2) sets whether stage-level indirect
+    calls are monomorphic or 2-way polymorphic.
+    """
+
+    seed: int = 1997
+    n_routes: int = 224
+    n_stages: int = 3
+    n_leaves: int = 32
+    #: candidate leaf functions per stage-level indirect-call site (1 or 2)
+    poly_ops: int = 1
+    zipf_s: float = 1.1
+    script_len: int = 2048
+    parse_branches: int = 2
+    pad_branches: int = 2
+    min_pad: int = 2
+    max_pad: int = 7
+
+
+@dataclass(frozen=True)
+class WebserverParams(ServerParams):
+    """URL-route fan-out: many handlers, hot head, long cold tail."""
+
+
+@dataclass(frozen=True)
+class DbParams(ServerParams):
+    """Query plans: fewer but deeper chains, 2-way operator dispatch."""
+
+    n_routes: int = 96
+    n_stages: int = 5
+    poly_ops: int = 2
+    zipf_s: float = 0.8
+    max_pad: int = 10
+
+
+@dataclass(frozen=True)
+class RpcParams(ServerParams):
+    """Microservice stubs: very many tiny methods, near-uniform traffic."""
+
+    n_routes: int = 384
+    n_stages: int = 2
+    zipf_s: float = 0.5
+    min_pad: int = 1
+    max_pad: int = 4
+
+
+def build(params: ServerParams = ServerParams()) -> GuestProgram:
+    if params.poly_ops not in (1, 2):
+        raise ValueError("poly_ops must be 1 (monomorphic) or 2 (2-way)")
+    rng = random.Random(params.seed)
+    b = ProgramBuilder()
+    b.jmp("main")
+
+    # ------------------------------------------------------------------
+    # Shared leaf functions: the actual "work" every stage calls into.
+    # ------------------------------------------------------------------
+    leaf_names = support.handler_labels("leaf", params.n_leaves)
+    for name in leaf_names:
+        b.label(name)
+        support.pad_handler(b, rng, 1, 5, acc_reg=ACC)
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Stage dispatch slots: one private data word (or two, when 2-way
+    # polymorphic) per (route, stage) holding the leaf address that site
+    # calls.  Host-side draws fix the slot contents, so with poly_ops=1
+    # every stage site is monomorphic: it only ever mispredicts when its
+    # BTB entry has been evicted — the pure capacity signal.
+    # ------------------------------------------------------------------
+    n_slots = params.n_routes * params.n_stages * params.poly_ops
+    slot_values: List[str] = [
+        leaf_names[rng.randrange(params.n_leaves)] for _ in range(n_slots)
+    ]
+    slot_base = b.data_table(slot_values)
+
+    def slot_address(route: int, stage: int) -> int:
+        index = (route * params.n_stages + stage) * params.poly_ops
+        return slot_base + support.word_offset(index)
+
+    # ------------------------------------------------------------------
+    # Stage functions: a nested call chain per route.  Each stage tests
+    # payload bits (conditional sites), runs pad work, indirect-calls its
+    # leaf, then calls the next stage; the last stage just returns.
+    # ------------------------------------------------------------------
+    for route in range(params.n_routes):
+        for stage in range(params.n_stages):
+            b.label(f"rt{route}_s{stage}")
+            support.emit_operand_pad(
+                b, PAY, params.pad_branches, rng, acc_reg=ACC,
+                first_bit=rng.randrange(12),
+            )
+            support.pad_handler(b, rng, params.min_pad, params.max_pad,
+                                acc_reg=ACC)
+            if params.poly_ops == 1:
+                b.li(T0, slot_address(route, stage))
+            else:
+                # 2-way operator dispatch: an unpredictable LCG bit picks
+                # between the site's two candidate leaves.
+                support.emit_random_bit(b, T2, bit=rng.randrange(8, 20))
+                b.shli(T2, T2, 2)
+                b.li(T0, slot_address(route, stage))
+                b.add(T0, T0, T2)
+            b.load(T1, T0)
+            b.callr(T1)
+            if stage + 1 < params.n_stages:
+                b.call(f"rt{route}_s{stage + 1}")
+            b.ret()
+
+    # Route table: the one shared, genuinely polymorphic dispatch site.
+    route_table = b.data_table(
+        [f"rt{route}_s0" for route in range(params.n_routes)]
+    )
+
+    # ------------------------------------------------------------------
+    # Request script: (route, payload) pairs, routes Zipf-skewed.
+    # ------------------------------------------------------------------
+    weights = support.zipf_weights(params.n_routes, params.zipf_s)
+    routes = support.weighted_sequence(rng, params.script_len, weights)
+    script: List[int] = []
+    for route in routes:
+        script.append(route)
+        script.append(rng.randrange(1, 1 << 12))
+    script_base = b.data_table(script)
+
+    # ------------------------------------------------------------------
+    # Main request loop, wrapping around the script.
+    # ------------------------------------------------------------------
+    b.label("main")
+    b.li(ACC, 1)
+    b.li(RNG, params.seed & 0xFFFF)
+    b.label("outer")
+    b.li(REQ, 0)
+    b.label("req_loop")
+    b.shli(T0, REQ, 3)  # two words per request
+    b.addi(T0, T0, script_base)
+    b.load(ROUTE, T0, 0)
+    b.load(PAY, T0, 4)
+    support.emit_operand_pad(b, PAY, params.parse_branches, rng, acc_reg=ACC)
+    support.emit_call_dispatch(b, route_table, ROUTE)
+    b.addi(REQ, REQ, 1)
+    b.li(T2, params.script_len)
+    b.blt(REQ, T2, "req_loop")
+    b.jmp("outer")
+
+    return b.build(entry="main")

@@ -44,6 +44,45 @@ class TestBasics:
             assert btb.lookup(i * 4).target == 0x400 + i
 
 
+class TestIndexing:
+    """Set-index/tag extraction: word = pc/4, set = word & (sets-1),
+    tag = word >> log2(sets)."""
+
+    def test_same_set_different_tags_coexist(self):
+        # sets=4: pcs 0x00 and 0x40 are words 0 and 16 — both set 0,
+        # tags 0 and 4.  With 2 ways they must not evict each other.
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        btb.update(0x00, COND, 0x400)
+        btb.update(0x40, COND, 0x800)
+        assert btb.lookup(0x00).target == 0x400
+        assert btb.lookup(0x40).target == 0x800
+
+    def test_tag_mismatch_is_a_miss_not_an_alias(self):
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        btb.update(0x00, COND, 0x400)
+        # same set (0), different tag: must miss, never alias
+        assert btb.lookup(0x40) is None
+
+    def test_adjacent_pcs_map_to_adjacent_sets(self):
+        btb = BranchTargetBuffer(sets=4, ways=1)
+        # words 0..3 land in sets 0..3: four single-way sets hold all four
+        for i in range(4):
+            btb.update(i * 4, COND, 0x400 + 4 * i)
+        assert btb.occupancy() == 4
+        for i in range(4):
+            assert btb.lookup(i * 4).target == 0x400 + 4 * i
+
+    def test_stored_tag_strips_set_bits(self):
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        btb.update(0x40, COND, 0x800)   # word 16 = set 0, tag 4
+        assert btb.lookup(0x40).tag == 4
+
+    def test_single_set_uses_full_word_as_tag(self):
+        btb = BranchTargetBuffer(sets=1, ways=4)
+        btb.update(0x100, COND, 0x400)  # word 64
+        assert btb.lookup(0x100).tag == 64
+
+
 class TestLRU:
     def test_eviction_order(self):
         btb = BranchTargetBuffer(sets=1, ways=2)
@@ -128,6 +167,30 @@ class TestTwoBitStrategy:
         assert mispredicts(UpdateStrategy.TWO_BIT) < mispredicts(
             UpdateStrategy.DEFAULT
         )
+
+    def test_streak_resets_after_replacement(self):
+        """After hysteresis replaces the target, the new target gets its
+        own two-miss grace period — the streak does not carry over."""
+        btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x800  # replaced
+        btb.update(0x100, JUMP, 0xC00, predicted_target_correct=False)
+        assert btb.lookup(0x100).target == 0x800  # one miss: survives
+
+    def test_eviction_discards_hysteresis_state(self):
+        """A re-allocated entry is fresh: it stores the new target
+        immediately, with no streak carried from the evicted life."""
+        btb = BranchTargetBuffer(sets=1, ways=1,
+                                 strategy=UpdateStrategy.TWO_BIT)
+        btb.update(0x100, JUMP, 0x400)
+        btb.update(0x100, JUMP, 0x800, predicted_target_correct=False)
+        btb.update(0x200, JUMP, 0xC00)  # evicts 0x100 (streak=1)
+        btb.update(0x100, JUMP, 0x800)  # fresh allocation
+        entry = btb.lookup(0x100)
+        assert entry.target == 0x800
+        assert entry.miss_streak == 0
 
     def test_direct_branches_unaffected_by_strategy(self):
         btb = BranchTargetBuffer(strategy=UpdateStrategy.TWO_BIT)

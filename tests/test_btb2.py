@@ -1,0 +1,236 @@
+"""The two-level BTB (``kind="btb2"``) and its backstop trait.
+
+Three layers of contract:
+
+* :class:`TwoLevelBTB` unit semantics — level geometry validation, L1/L2
+  probe order, miss-triggered prefetch into the L1, write-through updates,
+  and the per-level hit counters;
+* registry integration — traits (``predicts_on_btb_miss``,
+  ``needs_history=False``), backend chain (streams but never vector),
+  labels, and spec round-trip;
+* execution-tier identity — the engine's backstop path (consulting the
+  target cache on a primary-BTB miss) must be bit-identical between the
+  reference engine, the stream kernel, and a process pool, on both a
+  capacity-bound server trace and a SPEC-like control.
+"""
+
+import pytest
+
+from repro.predictors import (
+    EngineConfig,
+    TargetCacheConfig,
+    build_streams,
+    build_target_cache,
+    decode_branches,
+    simulate,
+    simulate_streamed,
+    stream_signature,
+    streams_supported,
+    vector_supported,
+)
+from repro.predictors import registry
+from repro.predictors.btb2 import TwoLevelBTB, _BTBLevel
+from repro.workloads import get_trace
+from tests.test_streams import assert_identical
+
+
+@pytest.fixture(scope="module")
+def webserver_trace():
+    """A small capacity-bound server trace (the backstop actually fires)."""
+    return get_trace("webserver_like", n_instructions=60_000, use_cache=False)
+
+
+def _btb2_config(**kwargs):
+    return EngineConfig(target_cache=TargetCacheConfig(kind="btb2", **kwargs))
+
+
+class TestLevelGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            _BTBLevel(entries=64, assoc=0)
+        with pytest.raises(ValueError):
+            _BTBLevel(entries=0, assoc=4)
+        with pytest.raises(ValueError):
+            _BTBLevel(entries=65, assoc=4)      # not a multiple of assoc
+        with pytest.raises(ValueError):
+            _BTBLevel(entries=24, assoc=4)      # 6 sets: not a power of two
+        with pytest.raises(ValueError):
+            TwoLevelBTB(l2_entries=-1)
+
+    def test_fully_associative_and_direct_mapped_extremes(self):
+        _BTBLevel(entries=8, assoc=8)   # 1 set
+        _BTBLevel(entries=8, assoc=1)   # 8 sets
+
+    def test_level_lru_eviction(self):
+        level = _BTBLevel(entries=2, assoc=2)
+        level.insert(0, 0x10)
+        level.insert(1, 0x20)
+        assert level.lookup(0) == 0x10  # refresh: word 1 becomes LRU
+        level.insert(2, 0x30)
+        assert level.lookup(1) is None
+        assert level.lookup(0) == 0x10
+        assert level.occupancy() == 2
+
+
+class TestTwoLevelSemantics:
+    def test_cold_miss_returns_none(self):
+        assert TwoLevelBTB().predict(0x100, 0) is None
+
+    def test_update_fills_both_levels(self):
+        btb2 = TwoLevelBTB(entries=4, assoc=4, l2_entries=8, l2_assoc=8)
+        btb2.update(0x100, 0, 0x400)
+        assert btb2._l1.occupancy() == 1
+        assert btb2._l2.occupancy() == 1
+        assert btb2.predict(0x100, 0) == 0x400
+        assert btb2.l1_hits == 1
+
+    def test_l2_hit_prefetches_into_l1(self):
+        # 1-entry L1: inserting a second pc evicts the first from the L1
+        # but not from the L2, so the next probe is an L2 hit that
+        # prefetch-fills the L1 — making the probe after that an L1 hit.
+        btb2 = TwoLevelBTB(entries=1, assoc=1, l2_entries=8, l2_assoc=8)
+        btb2.update(0x100, 0, 0x400)
+        btb2.update(0x200, 0, 0x800)    # evicts 0x100 from the L1
+        assert btb2.predict(0x100, 0) == 0x400
+        assert btb2.l2_hits == 1
+        assert btb2.predict(0x100, 0) == 0x400
+        assert btb2.l1_hits == 1
+
+    def test_l2_capacity_miss_after_both_evict(self):
+        btb2 = TwoLevelBTB(entries=1, assoc=1, l2_entries=1, l2_assoc=1)
+        btb2.update(0x100, 0, 0x400)
+        btb2.update(0x200, 0, 0x800)    # evicts 0x100 everywhere
+        assert btb2.predict(0x100, 0) is None
+
+    def test_zero_l2_entries_disables_backing_level(self):
+        btb2 = TwoLevelBTB(entries=1, assoc=1, l2_entries=0)
+        assert btb2._l2 is None
+        btb2.update(0x100, 0, 0x400)
+        btb2.update(0x200, 0, 0x800)
+        assert btb2.predict(0x100, 0) is None
+        assert btb2.l2_hits == 0
+
+    def test_update_replaces_target_unconditionally(self):
+        btb2 = TwoLevelBTB()
+        btb2.update(0x100, 0, 0x400)
+        btb2.update(0x100, 0, 0x800)
+        assert btb2.predict(0x100, 0) == 0x800
+
+    def test_history_is_ignored(self):
+        btb2 = TwoLevelBTB()
+        btb2.update(0x100, 0x1F, 0x400)
+        assert btb2.predict(0x100, 0x2A) == 0x400
+
+    def test_hit_rate_properties_and_reset(self):
+        btb2 = TwoLevelBTB(entries=1, assoc=1)
+        btb2.update(0x100, 0, 0x400)
+        btb2.predict(0x100, 0)
+        btb2.update(0x200, 0, 0x800)
+        btb2.predict(0x100, 0)          # L2 hit
+        assert btb2.lookups == 2
+        assert btb2.l1_hit_rate == 0.5
+        assert btb2.l2_hit_rate == 0.5
+        btb2.reset()
+        assert btb2.lookups == 0
+        assert btb2.predict(0x100, 0) is None
+
+
+class TestRegistryIntegration:
+    def test_factory_builds_two_level_btb(self):
+        built = build_target_cache(TargetCacheConfig(
+            kind="btb2", entries=64, assoc=4, l2_entries=2048, l2_assoc=8,
+        ))
+        assert isinstance(built, TwoLevelBTB)
+        assert built._l1.entries == 64
+        assert built._l2.entries == 2048
+
+    def test_traits(self):
+        traits = registry.traits_for("btb2")
+        assert traits.predicts_on_btb_miss
+        assert not traits.needs_history
+        assert not traits.vectorizable
+        assert traits.streams_supported
+        assert traits.deterministic
+
+    def test_backstop_kind_is_not_vectorizable(self):
+        config = _btb2_config()
+        assert streams_supported(config)
+        assert not vector_supported(config)
+
+    def test_labels(self):
+        assert registry.predictor_label(TargetCacheConfig(
+            kind="btb2", entries=64, assoc=4, l2_entries=4096, l2_assoc=8,
+        )) == "btb2(64e/4w+4096e/8w)"
+        assert registry.predictor_label(TargetCacheConfig(
+            kind="btb2", entries=64, assoc=4, l2_entries=0,
+        )) == "btb2(64e/4w,no-L2)"
+
+    def test_other_kinds_do_not_backstop(self):
+        for kind in ("tagless", "tagged", "cascaded", "ittage", "oracle",
+                     "last_target"):
+            assert not registry.traits_for(kind).predicts_on_btb_miss, kind
+
+
+class TestBackstopBehaviour:
+    """The engine-level effect of ``predicts_on_btb_miss``."""
+
+    def test_recovers_capacity_mispredicts_on_server_trace(
+            self, webserver_trace):
+        base = simulate(webserver_trace, EngineConfig())
+        btb2 = simulate(webserver_trace, _btb2_config())
+        assert btb2.indirect_mispred_rate < base.indirect_mispred_rate
+        # everything else the engine does is untouched
+        assert btb2.conditional_mispred_rate == base.conditional_mispred_rate
+        assert btb2.btb_hits == base.btb_hits
+
+    def test_l2_does_the_recovering(self, webserver_trace):
+        """The tiny L1-only degenerate point recovers at most a sliver
+        (recently evicted entries); the L2 buys the bulk of the recovery."""
+        base = simulate(webserver_trace, EngineConfig())
+        no_l2 = simulate(webserver_trace, _btb2_config(l2_entries=0))
+        with_l2 = simulate(webserver_trace, _btb2_config())
+        assert with_l2.indirect_mispred_rate < no_l2.indirect_mispred_rate
+        l1_only_recovery = (base.indirect_mispred_rate
+                            - no_l2.indirect_mispred_rate)
+        full_recovery = (base.indirect_mispred_rate
+                         - with_l2.indirect_mispred_rate)
+        assert l1_only_recovery < full_recovery / 2
+
+    def test_neutral_when_footprint_fits_primary_btb(self, perl_trace):
+        """SPEC-like control: the primary BTB never capacity-misses, the
+        backstop never fires, and the rate equals the baseline exactly."""
+        base = simulate(perl_trace, EngineConfig())
+        btb2 = simulate(perl_trace, _btb2_config())
+        assert btb2.indirect_mispred_rate == base.indirect_mispred_rate
+
+
+class TestTierIdentity:
+    GEOMETRIES = [
+        dict(),
+        dict(entries=64, assoc=4, l2_entries=2048, l2_assoc=8),
+        dict(l2_entries=0),
+        dict(entries=256, assoc=8, l2_entries=8192, l2_assoc=8),
+    ]
+
+    @pytest.mark.parametrize("trace_name", ["webserver_like", "perl"])
+    def test_streams_bit_identical_to_engine(self, trace_name,
+                                             webserver_trace, perl_trace):
+        trace = (webserver_trace if trace_name == "webserver_like"
+                 else perl_trace)
+        decoded = decode_branches(trace)
+        for geometry in self.GEOMETRIES:
+            config = _btb2_config(**geometry)
+            streams = build_streams(decoded, stream_signature(config))
+            reference = simulate(trace, config, collect_mask=True,
+                                 decoded=decoded)
+            streamed = simulate_streamed(streams, config, collect_mask=True)
+            assert_identical(streamed, reference)
+
+    def test_pool_bit_identical_to_serial(self):
+        from repro.runner import SweepCell, run_cells
+
+        cells = [SweepCell("webserver_like", _btb2_config()),
+                 SweepCell("webserver_like", EngineConfig())]
+        serial = run_cells(cells, jobs=1, trace_length=20_000)
+        pooled = run_cells(cells, jobs=2, trace_length=20_000)
+        assert serial == pooled

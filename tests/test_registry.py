@@ -27,8 +27,8 @@ from repro.predictors.target_cache import (
 )
 
 
-BUILTIN_KINDS = ["cascaded", "ittage", "last_target", "oracle", "tagged",
-                 "tagless"]
+BUILTIN_KINDS = ["btb2", "cascaded", "ittage", "last_target", "oracle",
+                 "tagged", "tagless"]
 
 
 class TestBuiltins:

@@ -1,0 +1,129 @@
+"""Server workload family and the server_btb capacity experiment.
+
+The tentpole claim has two directions, both pinned here:
+
+* the server-like workloads put the fetch engine in the *capacity* regime
+  — static branch footprints well beyond the 1024-entry baseline BTB,
+  low per-site reuse, depressed BTB hit rates — and there the two-level
+  BTB recovers a substantial fraction of the baseline indirect
+  mispredicts;
+* the SPEC-like controls stay in the paper's *polymorphism* regime —
+  footprints that fit the primary BTB — and there btb2 is approximately
+  neutral (exactly neutral on perl).
+"""
+
+import pytest
+
+from repro.experiments import server_btb
+from repro.experiments.common import ExperimentContext
+from repro.trace.stats import footprint
+from repro.workloads import get_trace, workload_names, workload_spec
+from repro.workloads.registry import SERVER_WORKLOADS
+
+TRACE_LENGTH = 100_000
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = ExperimentContext(trace_length=TRACE_LENGTH,
+                                use_trace_cache=False, jobs=1)
+    return context
+
+
+@pytest.fixture(scope="module")
+def table(ctx):
+    return server_btb.run(ctx)
+
+
+class TestRegistry:
+    def test_server_family_registered(self):
+        assert set(SERVER_WORKLOADS) == {
+            "webserver_like", "db_like", "rpc_like",
+        }
+
+    def test_names_gated_behind_include_server(self):
+        default = workload_names()
+        assert not set(SERVER_WORKLOADS) & set(default)
+        with_server = workload_names(include_oo=True, include_server=True)
+        assert set(SERVER_WORKLOADS) < set(with_server)
+
+    def test_specs_record_measured_calibration(self):
+        for name, spec in SERVER_WORKLOADS.items():
+            assert 0.0 < spec.paper_btb_mispred < 1.0, name
+            assert spec.paper_target_shape in ("few", "moderate", "many")
+            assert workload_spec(name) is spec
+
+    def test_traces_build_and_validate(self):
+        # get_trace validates the trace internally; a short length keeps
+        # this cheap while still exercising all three generator presets
+        for name in SERVER_WORKLOADS:
+            trace = get_trace(name, n_instructions=20_000, use_cache=False)
+            assert len(trace) == 20_000
+
+
+class TestCapacityRegime:
+    """The server traces are in the BTB-capacity regime; SPEC-likes are not."""
+
+    def test_footprint_exceeds_primary_btb(self, ctx):
+        for name in server_btb.SERVER_BENCHMARKS:
+            fp = footprint(ctx.trace(name))
+            # 256 sets x 4 ways = 1024 entries in the baseline BTB
+            assert fp.static_branch_sites > 1024, name
+            assert fp.static_indirect_sites > 256, name
+
+    def test_low_per_site_reuse(self, ctx):
+        server_reuse = [
+            footprint(ctx.trace(name)).branch_site_reuse
+            for name in server_btb.SERVER_BENCHMARKS
+        ]
+        control_reuse = [
+            footprint(ctx.trace(name)).branch_site_reuse
+            for name in server_btb.CONTROL_BENCHMARKS
+        ]
+        assert max(server_reuse) < min(control_reuse)
+
+    def test_btb_hit_rate_depressed_on_server_rows(self, table):
+        for name in server_btb.SERVER_BENCHMARKS:
+            assert table.cell(name, "BTB hit") < 0.95, name
+        for name in server_btb.CONTROL_BENCHMARKS:
+            assert table.cell(name, "BTB hit") > 0.95, name
+
+
+class TestCapacityStory:
+    """Both directions of the tentpole claim, from the experiment table."""
+
+    def test_substantial_recovery_on_server_workloads(self, table):
+        # measured at this length: webserver 19%, db 16%, rpc 35%
+        for name in server_btb.SERVER_BENCHMARKS:
+            assert table.cell(name, "recovered") > 0.10, name
+
+    def test_recovery_comes_from_the_l2(self, table):
+        biggest = server_btb._column(*server_btb.L2_GEOMETRIES[-1])
+        for name in server_btb.SERVER_BENCHMARKS:
+            no_l2 = table.cell(name, "btb2 no-L2")
+            with_l2 = table.cell(name, biggest)
+            base = table.cell(name, "btb-only")
+            assert with_l2 < no_l2, name
+            assert abs(no_l2 - base) < 0.01, name
+
+    def test_approximately_neutral_on_spec_controls(self, table):
+        biggest = server_btb._column(*server_btb.L2_GEOMETRIES[-1])
+        for name in server_btb.CONTROL_BENCHMARKS:
+            delta = abs(table.cell(name, biggest)
+                        - table.cell(name, "btb-only"))
+            assert delta < 0.005, name
+
+    def test_larger_l2_never_hurts(self, table):
+        columns = [server_btb._column(*geometry)
+                   for geometry in server_btb.L2_GEOMETRIES[1:]]
+        for name in server_btb.SERVER_BENCHMARKS:
+            rates = [table.cell(name, column) for column in columns]
+            assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:])), name
+
+    def test_table_shape(self, table):
+        assert [label for label, _ in table.rows] == (
+            list(server_btb.SERVER_BENCHMARKS)
+            + list(server_btb.CONTROL_BENCHMARKS)
+        )
+        assert table.columns[0] == "btb-only"
+        assert table.columns[-2:] == ["recovered", "BTB hit"]

@@ -404,6 +404,81 @@ class TestServerEndToEnd:
 
 
 # ----------------------------------------------------------------------
+# The btb2 kind through the full service path (PR: server-scale BTB).
+# ----------------------------------------------------------------------
+class TestBtb2ServicePath:
+    """A backstop-trait kind must be a first-class service citizen: the
+    server accepts btb2 sweeps over server workloads, the wire numbers
+    are bit-identical to a direct batch run, and the scheduler's savings
+    levels (dedup, result cache) apply to btb2 cells like any other."""
+
+    SPEC = {
+        "benchmarks": ["webserver_like"],
+        "cells": [
+            {"preset": "btb-only"},
+            {"preset": "btb2-micro", "label": "micro"},
+            {"engine": {"target_cache": {"kind": "btb2", "entries": 64,
+                                         "assoc": 4, "l2_entries": 8192,
+                                         "l2_assoc": 8}},
+             "label": "btb2-8k"},
+        ],
+    }
+
+    def _submit_and_wait(self, tmp_path):
+        async def scenario(service, client):
+            _, submitted = await client.request("POST", "/sweeps", self.SPEC)
+            while True:
+                _, job = await client.request(
+                    "GET", submitted["links"]["result"]
+                )
+                if job["status"] != "running":
+                    break
+                await asyncio.sleep(0.01)
+            # Same spec again: every cell is warm now (dedup or cache).
+            _, submitted = await client.request("POST", "/sweeps", self.SPEC)
+            while True:
+                _, again = await client.request(
+                    "GET", submitted["links"]["result"]
+                )
+                if again["status"] != "running":
+                    break
+                await asyncio.sleep(0.01)
+            _, stats = await client.request("GET", "/stats")
+            return job, again, stats
+
+        return TestServerEndToEnd().run_server(scenario, tmp_path)
+
+    def test_btb2_sweep_matches_direct_run_and_replays_warm(self, tmp_path):
+        job, again, stats = self._submit_and_wait(tmp_path)
+        assert job["status"] == "done"
+        plan = parse_spec_document(self.SPEC)
+        direct = run_cells(
+            [SweepCell(row.benchmark, row.config) for row in plan.rows],
+            jobs=1, trace_length=TRACE_LENGTH, result_cache=None,
+        )
+        for row, cell_stats in zip(job["rows"], direct):
+            assert row["indirect"] == cell_stats.indirect_mispred_rate
+            assert row["overall"] == cell_stats.overall_mispred_rate
+        # The capacity story survives the wire: on the server workload the
+        # two-level BTB beats the BTB-only baseline.
+        baseline, micro, big = (row["indirect"] for row in job["rows"])
+        assert micro < baseline
+        assert big < baseline
+        # Warm replay: the scheduler computed each cell exactly once.
+        assert again["status"] == "done"
+        assert again["rows"] == job["rows"]
+        scheduler = stats["scheduler"]
+        assert scheduler["computed"] == len(self.SPEC["cells"])
+        assert (scheduler["dedup"] + scheduler["cache_hit"]
+                == len(self.SPEC["cells"]))
+
+    def test_loadgen_population_includes_btb2(self):
+        population = spec_population(("webserver_like",))
+        presets = [doc["cells"][0].get("preset") for doc in population]
+        assert "btb2-micro" in presets
+
+
+# ----------------------------------------------------------------------
 # HTTP plumbing edge cases.
 # ----------------------------------------------------------------------
 class TestHttpPlumbing:

@@ -71,6 +71,9 @@ CORNER_CONFIGS = [
     ),
     EngineConfig(target_cache=TargetCacheConfig(kind="ittage", entries=32),
                  direction=DirectionConfig(scheme="pas", history_bits=6)),
+    EngineConfig(target_cache=TargetCacheConfig(
+        kind="btb2", entries=64, assoc=4, l2_entries=8192, l2_assoc=8)),
+    EngineConfig(target_cache=TargetCacheConfig(kind="btb2", l2_entries=0)),
     EngineConfig(target_cache=TargetCacheConfig(kind="oracle")),
     EngineConfig(target_cache=TargetCacheConfig(kind="last_target")),
 ]
@@ -97,6 +100,7 @@ def test_round_trip_covers_every_field():
     assert set(spec["target_cache"]) == {
         "kind", "scheme", "history_bits", "address_bits", "entries",
         "assoc", "indexing", "tag_bits", "replacement",
+        "l2_entries", "l2_assoc",
     }
     assert set(spec["history"]) == {
         "source", "bits", "bits_per_target", "address_bit", "path_filter",
@@ -154,7 +158,7 @@ if HAVE_HYPOTHESIS:
     target_cache_configs = st.builds(
         TargetCacheConfig,
         kind=st.sampled_from(
-            ["tagless", "tagged", "cascaded", "ittage", "oracle",
+            ["tagless", "tagged", "cascaded", "ittage", "btb2", "oracle",
              "last_target"]
         ),
         scheme=st.sampled_from(["gag", "gas", "gshare"]),
@@ -165,6 +169,8 @@ if HAVE_HYPOTHESIS:
         indexing=st.sampled_from(list(TaggedIndexing)),
         tag_bits=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
         replacement=st.sampled_from(["lru", "random"]),
+        l2_entries=st.sampled_from([0, 1024, 4096, 8192]),
+        l2_assoc=st.sampled_from([1, 2, 4, 8]),
     )
     history_configs = st.builds(
         HistoryConfig,
@@ -233,6 +239,7 @@ def test_presets_match_constructors():
         _cascade_engine(preset_configs.pattern_history(9))
     )
     assert preset_configs.preset("ittage-lite") == ittage_engine()
+    assert preset_configs.preset("btb2-micro") == preset_configs.btb2_engine()
 
 
 def test_preset_unknown_name():
