@@ -34,6 +34,7 @@ from repro.analysis.bitwidth import BitWidthChecker
 from repro.analysis.cache_keys import CacheKeyChecker, RegistryChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.hotloop import HotLoopChecker
+from repro.analysis.lowering_registry import LoweringRegistryChecker
 from repro.analysis.obs_discipline import ObsDisciplineChecker
 from repro.analysis.purity import TransitivePurityChecker
 from repro.analysis.report import LintReport, describe_checkers
@@ -54,6 +55,7 @@ __all__ = [
     "RegistryChecker",
     "DeterminismChecker",
     "HotLoopChecker",
+    "LoweringRegistryChecker",
     "ObsDisciplineChecker",
     "StaleSuppressionChecker",
     "TraitContractChecker",
@@ -74,6 +76,7 @@ CHECKERS: List[Checker] = [
     DeterminismChecker(),
     CacheKeyChecker(),
     RegistryChecker(),
+    LoweringRegistryChecker(),
     BitWidthChecker(),
     HotLoopChecker(),
     ObsDisciplineChecker(),

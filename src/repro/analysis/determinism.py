@@ -7,9 +7,11 @@ Anything that sneaks wall-clock time, unseeded randomness, environment
 state, or hash-randomised iteration order into the simulation kernel breaks
 that contract *silently* — cached and fresh runs diverge with no error.
 
-Rules (checked inside ``predictors/``, ``pipeline/``, ``runner/``, and
+Rules (checked inside ``predictors/``, ``pipeline/``, ``runner/``,
 ``obs/`` — telemetry must not perturb results, so its few legitimate
-wall-clock/environment reads carry explicit suppressions):
+wall-clock/environment reads carry explicit suppressions — and
+``guest/lowering``, where any nondeterminism would fork the emitted code
+out from under the trace fingerprint):
 
 ``det-unseeded-random``
     Module-level ``random.*`` / ``numpy.random.*`` calls.  Seeded generator
@@ -39,8 +41,11 @@ from repro.analysis.base import Finding, Project, SourceFile
 #: so the lexical and call-graph passes share one set of detectors.
 Impurity = Tuple[str, int, str]
 
-#: Package-relative directories the determinism rules apply to.
-SCOPE = ("predictors/", "pipeline/", "runner/", "obs/")
+#: Package-relative paths the determinism rules apply to.  The switch
+#: lowerings are in scope because a lowering must be a pure function of
+#: the switch spec: an RNG or environment read there would let the *same*
+#: workload fingerprint produce different code across runs.
+SCOPE = ("predictors/", "pipeline/", "runner/", "obs/", "guest/lowering")
 
 _WALL_CLOCK = frozenset(
     {
@@ -173,7 +178,7 @@ class DeterminismChecker:
     name = "determinism"
     description = (
         "unseeded RNG, wall-clock, os.environ, and set-iteration hazards in "
-        "predictors/, pipeline/, runner/, and obs/"
+        "predictors/, pipeline/, runner/, obs/, and guest/lowering"
     )
 
     def __init__(self, scope: Sequence[str] = SCOPE) -> None:

@@ -1,0 +1,130 @@
+"""Lowering-registry discipline: mirror of the predictor-registry rules.
+
+The switch-lowering registry (:mod:`repro.guest.lowering`) is the same
+kind of declarative surface as the predictor registry: the CLI lists it
+(``repro workloads --lowerings``), workload names embed it
+(``perl@if_tree``), and trace fingerprints hash over it.  A lowering that
+exists but is not registered is unreachable from all of that; a registered
+lowering without a label or a working spec example renders blank in the
+CLI and has no smoke-test hook.
+
+Rules:
+
+``lowering-unregistered-pass``
+    A concrete :class:`~repro.guest.lowering.LoweringPass` subclass in the
+    installed package that the registry cannot name.
+``lowering-missing-label``
+    A registered lowering whose ``label`` is empty (the CLI listing would
+    print a blank line).
+``lowering-missing-spec-example``
+    A registered lowering without a ``spec_example`` — nothing documents
+    or smoke-tests a representative ``switch(...)`` call for it.
+``lowering-spec-example-broken``
+    The ``spec_example`` does not lower cleanly in a scratch builder: the
+    documented example is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.base import Finding, Project
+from repro.analysis.cache_keys import _class_anchor, _concrete_subclasses
+
+
+def _example_exercises(name: str, example: Dict[str, object]) -> Optional[str]:
+    """Lower ``example`` in a scratch builder; the error message if it fails."""
+    from repro.guest.builder import BuilderError, ProgramBuilder
+
+    cases = example.get("cases", 4)
+    n_cases = cases if isinstance(cases, int) else 4
+    kind = example.get("kind", "jump")
+    weights = example.get("weights")
+    try:
+        builder = ProgramBuilder(lowering=name)
+        labels = [f"case_{i}" for i in range(n_cases)]
+        table = builder.switch_table(labels)
+        builder.switch(
+            5, table, kind=str(kind),
+            weights=[float(w) for w in weights]
+            if isinstance(weights, (list, tuple)) else None,
+            stem="lint_sw",
+        )
+        for label in labels:
+            builder.label(label)
+            builder.halt()
+        builder.build()
+    except (BuilderError, TypeError, ValueError) as exc:
+        return str(exc)
+    return None
+
+
+class LoweringRegistryChecker:
+    """Every switch lowering must be registered, labelled, and exemplified."""
+
+    name = "lowering-registry"
+    description = (
+        "LoweringPass subclasses must be registered with a label and a "
+        "spec example that lowers cleanly"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        from repro.guest.lowering import (
+            LoweringPass,
+            get_lowering,
+            lowering_names,
+        )
+
+        findings: List[Finding] = []
+        registered = {
+            type(get_lowering(name)) for name in lowering_names()
+        }
+
+        for cls in _concrete_subclasses(LoweringPass):
+            if cls in registered or not cls.__module__.startswith("repro."):
+                continue
+            relpath, line = _class_anchor(cls, project)
+            findings.append(
+                Finding(
+                    "lowering-unregistered-pass", relpath, line,
+                    f"{cls.__module__}.{cls.__qualname__} subclasses "
+                    "LoweringPass but is not registered; decorate it with "
+                    "@register_lowering so workloads and the CLI can "
+                    "reach it",
+                )
+            )
+
+        for name in lowering_names():
+            lowering = get_lowering(name)
+            relpath, line = _class_anchor(type(lowering), project)
+            if not lowering.label:
+                findings.append(
+                    Finding(
+                        "lowering-missing-label", relpath, line,
+                        f"lowering '{name}' has no label; 'repro workloads "
+                        "--lowerings' would render it blank",
+                    )
+                )
+            if not lowering.spec_example:
+                findings.append(
+                    Finding(
+                        "lowering-missing-spec-example", relpath, line,
+                        f"lowering '{name}' has no spec_example; nothing "
+                        "documents or smoke-tests a representative "
+                        "switch() for it",
+                    )
+                )
+                continue
+            error = _example_exercises(name, dict(lowering.spec_example))
+            if error is not None:
+                findings.append(
+                    Finding(
+                        "lowering-spec-example-broken", relpath, line,
+                        f"lowering '{name}': its spec_example does not "
+                        f"lower cleanly ({error})",
+                    )
+                )
+        return findings
+
+
+__all__ = ["LoweringRegistryChecker"]

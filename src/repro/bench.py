@@ -26,11 +26,13 @@ from typing import Any, Callable, Dict, List
 
 import numpy as np
 
+from repro.guest.lowering import lowering_names
 from repro.obs import get_sink
 from repro.predictors import (
     EngineConfig,
     HistoryConfig,
     HistorySource,
+    PredictionStats,
     TargetCacheConfig,
     build_streams,
     decode_branches,
@@ -54,6 +56,10 @@ DEFAULT_ROUNDS = 3
 #: kernel — the one the SPEC-like default workload never exercises.
 SERVER_WORKLOAD = "webserver_like"
 SERVER_L2_ENTRIES = (0, 2048, 4096, 8192)
+
+#: Lowering-slice scenario: the interpreter workload whose dispatch shape
+#: the switch lowerings reshape most (the ``repro switch_lowering`` core).
+LOWERING_WORKLOAD = "perl"
 
 
 def default_trace_length() -> int:
@@ -130,6 +136,18 @@ def _min_time(func: Callable[[], object], rounds: int) -> float:
         func()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _mpki(stats: PredictionStats) -> float:
+    """Branch mispredictions per 1000 instructions, all branch kinds.
+
+    The lowering slice compares programs whose dispatch is *shaped*
+    differently, so per-kind or per-branch rates shift their denominator
+    across rows; MPKI keeps it fixed (see the switch_lowering experiment).
+    """
+    if not stats.instructions:
+        return 0.0
+    return 1000.0 * stats.branch_mispredictions / stats.instructions
 
 
 def run_bench(workload: str = DEFAULT_WORKLOAD,
@@ -214,6 +232,54 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
                                     server_configs[-1]).indirect_mispred_rate
     n_server = len(server_configs)
 
+    # Lowering slice: the same interpreter under every registered switch
+    # lowering.  Dispatch shape changes which branch kinds exist at all —
+    # if_tree has no indirect jumps left for a target cache to help with —
+    # so this slice records the warm sweep cost per lowering plus the MPKI
+    # exchange rate the switch_lowering experiment studies in full.
+    lowering_configs = vector_sweep_configs()
+    n_lowering = len(lowering_configs)
+    per_lowering: Dict[str, Dict[str, float]] = {}
+    for lowering in lowering_names():
+        lowered_name = (LOWERING_WORKLOAD if lowering == "jump_table"
+                        else f"{LOWERING_WORKLOAD}@{lowering}")
+        lowered_trace = get_trace(lowered_name, n_instructions=trace_length,
+                                  seed=seed, use_cache=use_trace_cache)
+        lowered_decoded = decode_branches(lowered_trace)
+        with sink.span("bench.lowering", lowering=lowering, rounds=rounds):
+            lowered_build = _min_time(
+                lambda: build_streams(lowered_decoded, signature), rounds
+            )
+            lowered_streams = build_streams(lowered_decoded, signature)
+            lowered_warm = _min_time(
+                lambda: [simulate_streamed(lowered_streams, config)
+                         for config in lowering_configs],
+                rounds,
+            )
+        per_k = 1000.0 / len(lowered_trace)
+        per_lowering[lowering] = {
+            "build_s": lowered_build,
+            "streams_per_cell_s": lowered_warm / n_lowering,
+            "indirect_per_kinstr": per_k * float(
+                np.count_nonzero(lowered_trace.is_indirect_jump)
+            ),
+            "conditional_per_kinstr": per_k * float(
+                np.count_nonzero(lowered_trace.is_conditional)
+            ),
+            "baseline_mpki": _mpki(
+                simulate_streamed(lowered_streams, EngineConfig())
+            ),
+            "tagless_mpki": min(
+                _mpki(simulate_streamed(lowered_streams, config))
+                for config in lowering_configs
+            ),
+        }
+    jt = per_lowering["jump_table"]
+    lowering_recovered = (
+        (jt["baseline_mpki"] - jt["tagless_mpki"]) / jt["baseline_mpki"]
+        if jt["baseline_mpki"] else 0.0
+    )
+
     n = len(configs)
     payload: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -287,6 +353,15 @@ def run_bench(workload: str = DEFAULT_WORKLOAD,
                 if server_base else 0.0
             ),
         },
+        # Lowering slice: one row per registered switch lowering of the
+        # interpreter workload, tagless cells, warm, shared signature.
+        "lowering": {
+            "workload": LOWERING_WORKLOAD,
+            "n_configs": n_lowering,
+            "configs": "table4-tagless",
+            "per_lowering": per_lowering,
+            "recovered": lowering_recovered,
+        },
     }
     return payload
 
@@ -345,5 +420,17 @@ def format_summary(payload: Dict[str, Any]) -> str:
             f"indirect mispred {server['baseline_indirect_mispred']:.1%} -> "
             f"{server['btb2_indirect_mispred']:.1%} "
             f"({server['recovered']:.0%} recovered)",
+        ]
+    lowering = payload.get("lowering")
+    if lowering:  # older payloads predate the lowering slice
+        mix = ", ".join(
+            f"{name} {entry['baseline_mpki']:.1f}->{entry['tagless_mpki']:.1f}"
+            for name, entry in sorted(lowering["per_lowering"].items())
+        )
+        lines += [
+            f"  lowering slice ({lowering['workload']}, "
+            f"{lowering['n_configs']} tagless cells each, "
+            f"MPKI btb->tagless): {mix} "
+            f"({lowering['recovered']:.0%} of jump_table recovered)",
         ]
     return "\n".join(lines)

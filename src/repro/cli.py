@@ -4,9 +4,11 @@ Subcommands::
 
     repro list                      # available experiments and workloads
     repro table1 [options]          # run one experiment and print its table
+    repro run <experiment> [opts]   # explicit form of the same
     repro all [options]             # run every experiment
     repro predictors                # registered predictor kinds and traits
     repro workloads [name]          # workload calibration + footprint stats
+    repro workloads --lowerings     # registered switch lowerings
     repro sweep --spec FILE [opts]  # run ad-hoc cells from a spec JSON file
     repro trace <workload> [options]  # print workload trace statistics
     repro dump <workload> [--head N]  # disassemble a workload's code
@@ -16,6 +18,10 @@ Subcommands::
     repro loadgen [--requests N] [--concurrency C]  # benchmark the service
     repro report [LEDGER]             # summarise a run ledger
     repro report --compare OLD NEW    # diff two bench payloads (CI gate)
+
+Wherever a workload name is accepted, a ``name@lowering`` suffix picks the
+switch-lowering shape (``repro trace perl@if_tree``); see
+``repro workloads --lowerings`` and ``docs/LOWERING.md``.
 
 ``repro sweep`` runs arbitrary ``(benchmark, engine-spec)`` cells through
 the full execution stack — registry-built predictors, stream kernel,
@@ -78,12 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(Chang, Hao & Patt, ISCA 1997)",
     )
     parser.add_argument("command",
-                        help="experiment name, 'all', 'list', 'predictors', "
-                             "'workloads', 'sweep', 'trace', 'dump', 'lint', "
-                             "'bench', 'serve', 'loadgen', or 'report'")
+                        help="experiment name, 'run', 'all', 'list', "
+                             "'predictors', 'workloads', 'sweep', 'trace', "
+                             "'dump', 'lint', 'bench', 'serve', 'loadgen', "
+                             "or 'report'")
     parser.add_argument("workload", nargs="?",
                         help="workload name (for 'trace', 'dump', 'bench', "
-                             "'workloads') or ledger path (for 'report')")
+                             "'workloads'; accepts a name@lowering suffix), "
+                             "experiment name (for 'run'), or ledger path "
+                             "(for 'report')")
     parser.add_argument("--spec", default=None, metavar="FILE",
                         help="spec JSON file (sweep command)")
     parser.add_argument("--head", type=int, default=80,
@@ -114,6 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(repeatable and/or comma-separated)")
     parser.add_argument("--list-checks", action="store_true",
                         help="list registered lint checkers and exit")
+    parser.add_argument("--lowerings", action="store_true",
+                        help="list registered switch lowerings and exit "
+                             "(workloads command)")
     parser.add_argument("--bench-output", default="BENCH_sweep.json",
                         metavar="FILE",
                         help="where 'bench' writes its JSON payload")
@@ -229,6 +241,8 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import workload_spec
     from repro.workloads.registry import OO_WORKLOADS, SERVER_WORKLOADS
 
+    if args.lowerings:
+        return _cmd_lowerings()
     if args.workload:
         try:
             workload_spec(args.workload)
@@ -259,6 +273,25 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
               f"reuse {fp.branch_site_reuse:,.0f}x "
               f"({fp.indirect_site_reuse:,.0f}x indirect) over "
               f"{len(trace):,} instructions")
+    return 0
+
+
+def _cmd_lowerings() -> int:
+    """List registered switch lowerings (``repro workloads --lowerings``)."""
+    from repro.guest.lowering import get_lowering, lowering_names
+
+    print("registered switch lowerings (use as workload@lowering):")
+    for name in lowering_names():
+        lowering = get_lowering(name)
+        default = "  [default]" if name == "jump_table" else ""
+        print(f"  {name}{default}")
+        print(f"      {lowering.label}")
+        if lowering.spec_example:
+            example = ", ".join(
+                f"{key}={value!r}"
+                for key, value in lowering.spec_example.items()
+            )
+            print(f"      e.g. switch({example})")
     return 0
 
 
@@ -551,7 +584,15 @@ def _run_simulation(args: argparse.Namespace) -> int:
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     ctx = _context(args)
-    names = list(EXPERIMENT_MODULES) if args.command == "all" else [args.command]
+    if args.command == "all":
+        names = list(EXPERIMENT_MODULES)
+    elif args.command == "run":
+        if not args.workload:
+            print("usage: repro run <experiment>", file=sys.stderr)
+            return 2
+        names = [args.workload]
+    else:
+        names = [args.command]
     for name in names:
         if name not in EXPERIMENT_MODULES:
             print(f"unknown experiment {name!r}; try 'repro list'",

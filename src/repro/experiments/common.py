@@ -58,6 +58,7 @@ EXPERIMENT_MODULES: Dict[str, str] = {
     "modern": "repro.experiments.modern",
     "capacity": "repro.experiments.capacity",
     "server_btb": "repro.experiments.server_btb",
+    "switch_lowering": "repro.experiments.switch_lowering",
     "calibration": "repro.experiments.calibration",
 }
 

@@ -19,8 +19,8 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.guest.isa import (
     INSTRUCTION_BYTES,
@@ -47,6 +47,51 @@ class _Fixup:
     data_address: Optional[int] = None  # patch data word at this address
 
 
+@dataclass(frozen=True)
+class SwitchTable:
+    """A dispatch table a :meth:`ProgramBuilder.switch` selects through.
+
+    ``labels[i]`` is the handler for selector value ``i``; the table word
+    backing case ``i`` lives at ``base + 4 * (i * stride + offset)``.  The
+    plain ``stride=1, offset=0`` form is a dense jump table; the strided
+    form lets several switch sites share one interleaved table (vtable
+    rows, e.g.) without re-allocating it per site.
+    """
+
+    base: int
+    labels: Tuple[str, ...]
+    stride: int = 1
+    offset: int = 0
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class SwitchSite:
+    """One structured switch recorded by :meth:`ProgramBuilder.switch`.
+
+    The builder records the site *and* immediately lowers it with the
+    builder's active lowering pass; ``start``/``end`` bracket the emitted
+    code and ``indirect_sites`` lists the addresses of any ``jr``/``callr``
+    instructions the lowering produced (empty under ``if_tree``).
+    """
+
+    selector: int
+    table: SwitchTable
+    kind: str                      # "jump" or "call"
+    default: Optional[str]
+    weights: Optional[Tuple[float, ...]]
+    lowering: str
+    t_addr: int
+    t_handler: int
+    stem: str
+    start: int = -1
+    end: int = -1
+    indirect_sites: List[int] = field(default_factory=list)
+
+
 class ProgramBuilder:
     """Incrementally assemble a :class:`GuestProgram`.
 
@@ -57,13 +102,18 @@ class ProgramBuilder:
     so a workload can ``load`` a handler address and ``jr`` through it.
     """
 
-    def __init__(self, data_base: int = 0x10000) -> None:
+    def __init__(self, data_base: int = 0x10000,
+                 lowering: Optional[str] = None) -> None:
         self._code: List[Instruction] = []
         self._labels: Dict[str, int] = {}
         self._fixups: List[_Fixup] = []
         self._data: Dict[int, Union[int, float]] = {}
         self._data_base = data_base
         self._data_cursor = data_base
+        #: Active switch lowering; ``None`` means the default jump table.
+        self.lowering: str = lowering or "jump_table"
+        #: Every structured switch recorded via :meth:`switch`, in order.
+        self.switch_sites: List[SwitchSite] = []
 
     # ------------------------------------------------------------------
     # Labels and layout
@@ -145,6 +195,11 @@ class ProgramBuilder:
              imm: int = 0, target: Optional[LabelRef] = None) -> int:
         """Emit one instruction; return its address."""
         address = self.here
+        # Validate before recording the fixup: a failed emit must not leave
+        # a dangling fixup pointing at whatever instruction comes next.
+        validate_register(rd, allow_unused=True)
+        validate_register(rs1, allow_unused=True)
+        validate_register(rs2, allow_unused=True)
         resolved_imm = imm
         if target is not None:
             if isinstance(target, str):
@@ -152,9 +207,6 @@ class ProgramBuilder:
                 resolved_imm = 0
             else:
                 resolved_imm = int(target)
-        validate_register(rd, allow_unused=True)
-        validate_register(rs1, allow_unused=True)
-        validate_register(rs2, allow_unused=True)
         self._code.append(Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=resolved_imm))
         return address
 
@@ -266,6 +318,81 @@ class ProgramBuilder:
 
     def halt(self) -> int:
         return self.emit(Op.HALT)
+
+    # ------------------------------------------------------------------
+    # Structured switch
+    # ------------------------------------------------------------------
+    def switch_table(self, labels: Sequence[str], stride: int = 1,
+                     offset: int = 0, base: Optional[int] = None) -> SwitchTable:
+        """Describe (and, by default, allocate) a dispatch table.
+
+        With no ``base`` the labels are placed in the data segment exactly
+        as :meth:`data_table` would, so the data layout is independent of
+        the lowering later chosen for the switch.  Passing ``base`` wraps
+        an already-emitted (possibly interleaved) table: case ``i`` then
+        lives at word index ``i * stride + offset`` of that table.
+        """
+        if not labels:
+            raise BuilderError("switch table needs at least one case label")
+        if base is None:
+            if stride != 1 or offset != 0:
+                raise BuilderError(
+                    "strided switch tables must wrap an existing base"
+                )
+            base = self.data_table(list(labels))
+        return SwitchTable(
+            base=base, labels=tuple(labels), stride=stride, offset=offset
+        )
+
+    def switch(self, selector: int, table: SwitchTable, *,
+               kind: str = "jump", default: Optional[str] = None,
+               weights: Optional[Sequence[float]] = None,
+               t_addr: int = 1, t_handler: int = 2,
+               stem: str = "sw") -> SwitchSite:
+        """Emit a structured N-way dispatch on ``selector``.
+
+        The control-flow shape is chosen by the builder's active lowering
+        pass (see :mod:`repro.guest.lowering`): a jump table, a balanced
+        compare-and-branch tree, or a density-clustered hybrid.  ``kind``
+        selects jump dispatch (``jr``-style, control never returns here)
+        or call dispatch (``callr``-style, every handler returns and
+        control continues after the switch).  ``weights`` are optional
+        relative case frequencies that density-based lowerings may use;
+        they must come from the workload *spec*, never from its RNG, so
+        that the lowering stays a pure function of the spec.  ``default``
+        names a label that out-of-range selectors branch to; ``None``
+        (the norm for generated workloads, whose selectors are in range
+        by construction) emits no bounds check, which keeps the
+        ``jump_table`` lowering bit-identical to the classic inline
+        dispatch sequence.
+        """
+        if kind not in ("jump", "call"):
+            raise BuilderError(f"unknown switch kind {kind!r}")
+        validate_register(selector)
+        validate_register(t_addr)
+        validate_register(t_handler)
+        if weights is not None and len(weights) != table.n_cases:
+            raise BuilderError(
+                f"switch got {len(weights)} weights for {table.n_cases} cases"
+            )
+        from repro.guest.lowering import get_lowering
+
+        site = SwitchSite(
+            selector=selector,
+            table=table,
+            kind=kind,
+            default=default,
+            weights=tuple(weights) if weights is not None else None,
+            lowering=self.lowering,
+            t_addr=t_addr,
+            t_handler=t_handler,
+            stem=stem,
+            start=self.here,
+        )
+        get_lowering(self.lowering).lower(self, site)
+        site.end = self.here
+        self.switch_sites.append(site)
+        return site
 
     # ------------------------------------------------------------------
     # Assembly

@@ -26,7 +26,7 @@ converts into numpy arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Integer results of multiplicative and shift ops wrap to 64 bits, like
 #: hardware registers; without this a squaring chain would grow a Python
@@ -82,13 +82,24 @@ class VM:
         cap is the natural way to size a trace).
     call_stack_limit:
         Guard against runaway guest recursion.
+    stop_pc:
+        Optional synchronization point: execution stops *before* fetching
+        this address once it has been reached ``stop_visits`` times.  Lets
+        equivalence tests compare lowerings at the same architectural point
+        (e.g. "after 40 trips around the outer loop") even though their
+        dynamic instruction counts differ.
+    stop_visits:
+        How many arrivals at ``stop_pc`` to run before stopping.
     """
 
     def __init__(self, program: GuestProgram, max_instructions: int = 1_000_000,
-                 call_stack_limit: int = 10_000) -> None:
+                 call_stack_limit: int = 10_000,
+                 stop_pc: Optional[int] = None, stop_visits: int = 1) -> None:
         self.program = program
         self.max_instructions = max_instructions
         self.call_stack_limit = call_stack_limit
+        self.stop_pc = stop_pc
+        self.stop_visits = stop_visits
         self.registers: List[float] = [0] * NUM_REGISTERS
         self.memory: Dict[int, float] = dict(program.data)
         self.call_stack: List[int] = []
@@ -117,8 +128,16 @@ class VM:
 
         pc = self.pc
         remaining = self.max_instructions - self.retired
+        # -1 is never a valid pc, so a disabled stop point costs one integer
+        # compare per instruction instead of a None check.
+        stop_pc = -1 if self.stop_pc is None else self.stop_pc
+        stop_visits = self.stop_visits
 
         while remaining > 0:
+            if pc == stop_pc:
+                stop_visits -= 1
+                if stop_visits <= 0:
+                    break
             index = pc >> 2
             if not 0 <= index < n_code:
                 raise VMError(f"pc {pc:#x} outside code segment")

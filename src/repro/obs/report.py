@@ -36,6 +36,9 @@ _BENCH_TIME_METRICS = (
     "tiers.vector_per_cell_s",
     "server.build_s",
     "server.streams_per_cell_s",
+    "lowering.per_lowering.jump_table.streams_per_cell_s",
+    "lowering.per_lowering.if_tree.streams_per_cell_s",
+    "lowering.per_lowering.clustered.streams_per_cell_s",
 )
 
 #: Bench metrics where *higher is better*; reported, never gating (they
@@ -46,6 +49,7 @@ _BENCH_INFO_METRICS = (
     "tiers.speedup.vector_vs_streams",
     "tiers.speedup.vector_vs_engine",
     "server.recovered",
+    "lowering.recovered",
 )
 
 

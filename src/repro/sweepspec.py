@@ -72,15 +72,29 @@ def _known_benchmarks() -> List[str]:
 
 def _check_benchmarks(names: List[str], where: str,
                       known: List[str]) -> List[str]:
+    from repro.guest.lowering import lowering_names
+    from repro.workloads import parse_workload_name
+
+    checked = []
     for name in names:
-        if name not in known:
+        try:
+            base, lowering = parse_workload_name(name)
+        except KeyError:
+            raise SpecError(
+                f"'{where}' names unknown lowering in {name!r}; available: "
+                f"{', '.join(lowering_names())}"
+            ) from None
+        if base not in known:
             raise SpecError(
                 f"'{where}' names unknown benchmark {name!r}; available: "
                 f"{', '.join(sorted(known))}"
             )
-    if not names:
+        # '@jump_table' canonicalises away, so scheduler dedup and the
+        # result cache see one spelling per identical trace.
+        checked.append(base if lowering is None else f"{base}@{lowering}")
+    if not checked:
         raise SpecError(f"'{where}' must not be empty")
-    return names
+    return checked
 
 
 def _cell_config(cell: Any, where: str) -> Tuple[str, EngineConfig]:

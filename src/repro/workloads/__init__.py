@@ -37,6 +37,7 @@ from repro.workloads.registry import (
     WorkloadSpec,
     build_program,
     get_trace,
+    parse_workload_name,
     trace_fingerprint,
     workload_names,
     workload_spec,
@@ -47,6 +48,7 @@ __all__ = [
     "WorkloadSpec",
     "build_program",
     "get_trace",
+    "parse_workload_name",
     "trace_fingerprint",
     "workload_names",
     "workload_spec",

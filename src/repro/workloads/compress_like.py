@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -44,15 +45,22 @@ class CompressParams:
     work_iterations: int = 7
 
 
-def build(params: CompressParams = CompressParams()) -> GuestProgram:
+def build(params: CompressParams = CompressParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     table_base = b.data_zeros(params.table_words)
     output_base = b.data_zeros(256)
     class_names = ["cls_short", "cls_mid", "cls_long"]
-    class_table = b.data_table(class_names)
+    class_table = b.switch_table(class_names)
+    # Class shares implied by the byte-value thresholds (~92/6/2).
+    class_weights = [
+        float(params.threshold0),
+        float(params.threshold1 - params.threshold0),
+        float(256 - params.threshold1),
+    ]
 
     b.label("main")
     b.li(RNG, params.seed & 0xFFFF)
@@ -109,7 +117,7 @@ def build(params: CompressParams = CompressParams()) -> GuestProgram:
     b.blt(BYTE, T2, cls_done)
     b.li(CLASSR, 2)
     b.label(cls_done)
-    support.emit_dispatch(b, class_table, CLASSR)
+    b.switch(CLASSR, class_table, weights=class_weights, stem="cls_sw")
 
     for i, name in enumerate(class_names):
         b.label(name)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -58,9 +58,10 @@ class DeltablueParams:
     method_pad: int = 3
 
 
-def build(params: DeltablueParams = DeltablueParams()) -> GuestProgram:
+def build(params: DeltablueParams = DeltablueParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     kind_names = ["stay", "edit", "scale", "offset", "equality", "chain"]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -159,15 +159,24 @@ class _TreeGen:
         return index
 
 
+#: Spec-level case-frequency profile of the 16-way kind switch, taken
+#: from the generator's kind-selection weights (leaves dominate real ASTs);
+#: used by density-based lowerings, never by the walker itself.
+_KIND_WEIGHTS = [float(w) for w in
+                 _TreeGen._LEAF_WEIGHTS + [1] * 4 + _TreeGen._BINARY_WEIGHTS]
+#: Operator sub-switch profile: the op-bit skew of the node generator.
+_OP_WEIGHTS = [4.0, 3.0, 2.0, 1.0]
+
+
 def _emit_pass(b: ProgramBuilder, rng: random.Random, pass_index: int,
                mutate_values: bool) -> str:
     """Emit one pass's walker; returns the walker's entry label."""
     walker = f"walk_p{pass_index}"
     done = f"ret_p{pass_index}"
     handlers = [f"p{pass_index}_k{kind}" for kind in range(N_KINDS)]
-    dispatch_table = b.data_table(handlers)
+    dispatch_table = b.switch_table(handlers)
     op_handlers = [f"p{pass_index}_op{j}" for j in range(4)]
-    op_table = b.data_table(op_handlers)
+    op_table = b.switch_table(op_handlers)
 
     b.label(walker)
     b.load(KIND, NODE, _OFF_KIND)
@@ -191,7 +200,8 @@ def _emit_pass(b: ProgramBuilder, rng: random.Random, pass_index: int,
     b.beq(T3, 0, t3)
     b.xori(ACC, ACC, 5)
     b.label(t3)
-    support.emit_dispatch(b, dispatch_table, KIND)
+    b.switch(KIND, dispatch_table, weights=_KIND_WEIGHTS,
+             stem=f"p{pass_index}_ksw")
 
     for kind in range(N_KINDS):
         b.label(handlers[kind])
@@ -250,7 +260,8 @@ def _emit_pass(b: ProgramBuilder, rng: random.Random, pass_index: int,
                                      first_bit=(kind + 2) % 4)
             # operator sub-switch: second static indirect jump of this pass
             b.andi(T3, VAL, 3)
-            support.emit_dispatch(b, op_table, T3)
+            b.switch(T3, op_table, weights=_OP_WEIGHTS,
+                     stem=f"p{pass_index}_opsw")
 
     for j, name in enumerate(op_handlers):
         b.label(name)
@@ -272,10 +283,11 @@ def _emit_pass(b: ProgramBuilder, rng: random.Random, pass_index: int,
     return walker
 
 
-def build(params: GccParams = GccParams()) -> GuestProgram:
+def build(params: GccParams = GccParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     """Assemble the four-pass AST walker over a generated forest."""
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     walkers = [

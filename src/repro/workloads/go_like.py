@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -57,9 +58,10 @@ class GoParams:
     eval_iterations: int = 4
 
 
-def build(params: GoParams = GoParams()) -> GuestProgram:
+def build(params: GoParams = GoParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # Board data (host-initialised).
@@ -75,7 +77,7 @@ def build(params: GoParams = GoParams()) -> GuestProgram:
     board_base = b.data_table(stones)
     influence_base = b.data_zeros(BOARD_CELLS)
     class_names = [f"pat_{i}" for i in range(N_CLASSES)]
-    class_table = b.data_table(class_names)
+    class_table = b.switch_table(class_names)
 
     def load_cell(dst: int, index_reg: int, offset_cells: int) -> None:
         """dst = board[index_reg + offset_cells]; occupancy only."""
@@ -121,7 +123,7 @@ def build(params: GoParams = GoParams()) -> GuestProgram:
     b.slt(T3, NBRS, T2)
     b.xori(CLASSR, T3, 1)         # 0 if quiet, 1 if contested
     b.label(classified)
-    support.emit_dispatch(b, class_table, CLASSR)
+    b.switch(CLASSR, class_table, stem="pat_sw")
 
     for i, name in enumerate(class_names):
         b.label(name)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -62,15 +62,16 @@ def _generate_blocks(rng: random.Random, params: IjpegParams) -> List[int]:
     return words
 
 
-def build(params: IjpegParams = IjpegParams()) -> GuestProgram:
+def build(params: IjpegParams = IjpegParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     blocks_base = b.data_table(_generate_blocks(rng, params))
     output_base = b.data_zeros(params.n_blocks * BLOCK_DIM)
     class_names = ["enc_zero", "enc_small", "enc_mid", "enc_large"]
-    class_table = b.data_table(class_names)
+    class_table = b.switch_table(class_names)
     block_words = BLOCK_DIM * BLOCK_DIM
 
     b.label("main")
@@ -123,7 +124,7 @@ def build(params: IjpegParams = IjpegParams()) -> GuestProgram:
     b.blt(SUM, T1, enc)
     b.li(CLASSR, 3)
     b.label(enc)
-    support.emit_dispatch(b, class_table, CLASSR)
+    b.switch(CLASSR, class_table, stem="enc_sw")
 
     for i, name in enumerate(class_names):
         b.label(name)

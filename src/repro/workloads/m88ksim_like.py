@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -120,9 +120,10 @@ class M88ksimParams:
     accounting_iterations: int = 3
 
 
-def build(params: M88ksimParams = M88ksimParams()) -> GuestProgram:
+def build(params: M88ksimParams = M88ksimParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------
@@ -134,7 +135,13 @@ def build(params: M88ksimParams = M88ksimParams()) -> GuestProgram:
     program_words = _toy_program(rng, params.toy_array_len)
     toy_prog = b.data_table(program_words)
     handlers = support.handler_labels("op", N_TOY_OPS)
-    dispatch_table = b.data_table(handlers)
+    dispatch_table = b.switch_table(handlers)
+    # Static opcode frequencies of the (deterministic) toy program: the
+    # decode switch's case-density profile for clustering lowerings.
+    opcode_weights = [
+        float(sum(1 for word in program_words if word >> 24 == op))
+        for op in range(N_TOY_OPS)
+    ]
 
     # Fill the toy array host-side (via initialised data).
     for i in range(params.toy_array_len):
@@ -165,7 +172,7 @@ def build(params: M88ksimParams = M88ksimParams()) -> GuestProgram:
     b.andi(RS, RS, 0xFF)
     b.andi(IMM, WORD, 0xFF)
     b.addi(SIMPC, SIMPC, 1)  # default: next toy instruction
-    support.emit_dispatch(b, dispatch_table, OPC)
+    b.switch(OPC, dispatch_table, weights=opcode_weights, stem="decode_sw")
 
     def read_toy(dst: int, reg_field: int) -> None:
         toy_reg_addr(reg_field, T0)

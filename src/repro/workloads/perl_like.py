@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -75,8 +76,13 @@ class PerlParams:
     work_iterations: int = 16
 
 
-def build(params: PerlParams = PerlParams()) -> GuestProgram:
-    """Assemble the interpreter and its script; returns the guest program."""
+def build(params: PerlParams = PerlParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
+    """Assemble the interpreter and its script; returns the guest program.
+
+    ``lowering`` picks the dispatch control-flow shape (see
+    :mod:`repro.guest.lowering`); ``None`` is the classic jump table.
+    """
     rng = random.Random(params.seed)
     k = params.token_types
     length = params.script_length
@@ -98,7 +104,7 @@ def build(params: PerlParams = PerlParams()) -> GuestProgram:
         # jump destination: somewhere else in the script (word index)
         operands[position] = rng.randrange(length)
 
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------
@@ -133,14 +139,20 @@ def build(params: PerlParams = PerlParams()) -> GuestProgram:
     # Data segment: dispatch table, script, operands, a value stack.
     # ------------------------------------------------------------------
     handler_names = support.handler_labels("tok", k) + ["tok_jz"]
-    dispatch_table = b.data_table(handler_names)
+    dispatch_table = b.switch_table(handler_names)
     script_base = b.data_table(tokens)
     operand_base = b.data_table(operands)
     stack_base = b.data_zeros(256)
 
     # Secondary dispatch: the "binop" handler switches on an operator id.
     binop_names = support.handler_labels("binop", 5)
-    binop_table = b.data_table(binop_names)
+    binop_table = b.switch_table(binop_names)
+
+    # Spec-derived case frequencies for density-based lowerings: the zipf
+    # token profile plus the JZ token's expected script share.  Derived
+    # from the params only — never from the realised random script.
+    token_weights = support.zipf_weights(k, params.zipf_s, normalize=True)
+    token_weights.append(params.branch_tokens / params.script_length)
 
     # ------------------------------------------------------------------
     # Main interpreter loop.
@@ -160,7 +172,7 @@ def build(params: PerlParams = PerlParams()) -> GuestProgram:
     b.li(T1, operand_base)
     b.add(T1, T1, T0)
     b.load(OPER, T1)
-    support.emit_dispatch(b, dispatch_table, TOK)
+    b.switch(TOK, dispatch_table, weights=token_weights, stem="tok_sw")
 
     # ------------------------------------------------------------------
     # Token handlers.  Variable-length bodies (pad_handler) keep target
@@ -205,7 +217,7 @@ def build(params: PerlParams = PerlParams()) -> GuestProgram:
             support.emit_operand_pad(b, OPER, pad_units - 1, rng, first_bit=i % 4)
             b.li(T2, 5)
             b.mod(T3, OPER, T2)
-            support.emit_dispatch(b, binop_table, T3, t_addr=T0, t_handler=T1)
+            b.switch(T3, binop_table, t_addr=T0, t_handler=T1, stem="binop_sw")
         elif flavour == 3:
             # helper call + padded work loop
             b.call("helper_scan")

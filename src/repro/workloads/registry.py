@@ -17,6 +17,7 @@ from types import ModuleType
 from typing import Any, Dict, List, Optional
 
 from repro.guest.isa import GuestProgram
+from repro.guest.lowering import lowering_names
 from repro.guest.vm import run_program
 from repro.trace.io import cached_trace
 from repro.trace.trace import Trace
@@ -47,11 +48,12 @@ class WorkloadSpec:
             return params_cls()
         return params_cls(seed=seed)
 
-    def build(self, params: Any = None, seed: Optional[int] = None) -> GuestProgram:
+    def build(self, params: Any = None, seed: Optional[int] = None,
+              lowering: Optional[str] = None) -> GuestProgram:
         module = self._module()
         if params is None:
             params = self.default_params(seed)
-        return getattr(module, self.build_function)(params)
+        return getattr(module, self.build_function)(params, lowering=lowering)
 
 
 WORKLOADS: Dict[str, WorkloadSpec] = {
@@ -220,6 +222,52 @@ _ALL_WORKLOADS: Dict[str, WorkloadSpec] = {
 }
 
 
+def parse_workload_name(name: str) -> "tuple[str, Optional[str]]":
+    """Split a composite benchmark name into (base, lowering).
+
+    ``"perl"`` -> ``("perl", None)``; ``"perl@if_tree"`` ->
+    ``("perl", "if_tree")``.  The explicit ``@jump_table`` spelling
+    canonicalises to ``None`` — it *is* the default shape, and collapsing
+    it keeps the trace/result caches from holding duplicate entries for
+    one identical trace.  Unknown lowerings raise ``KeyError``.
+    """
+    base, sep, lowering = name.partition("@")
+    if not sep:
+        return base, None
+    if lowering not in lowering_names():
+        raise KeyError(
+            f"unknown lowering {lowering!r} in workload name {name!r}; "
+            f"available: {', '.join(lowering_names())}"
+        )
+    if lowering == "jump_table":
+        return base, None
+    return base, lowering
+
+
+def _resolve(name: str,
+             lowering: Optional[str] = None) -> "tuple[WorkloadSpec, str, Optional[str]]":
+    """Resolve a (possibly composite) name plus an explicit lowering knob.
+
+    Returns ``(spec, base_name, effective_lowering)``.  A lowering given
+    both in the name and as a keyword must agree.
+    """
+    base, name_lowering = parse_workload_name(name)
+    if lowering is not None and lowering == "jump_table":
+        lowering = None
+    if name_lowering is not None and lowering is not None \
+            and name_lowering != lowering:
+        raise ValueError(
+            f"conflicting lowerings: name {name!r} vs lowering={lowering!r}"
+        )
+    effective = name_lowering if name_lowering is not None else lowering
+    if base not in _ALL_WORKLOADS:
+        raise KeyError(
+            f"unknown workload {base!r}; available: "
+            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
+        )
+    return _ALL_WORKLOADS[base], base, effective
+
+
 def workload_names(include_oo: bool = False,
                    include_server: bool = False) -> List[str]:
     names = sorted(WORKLOADS)
@@ -231,66 +279,66 @@ def workload_names(include_oo: bool = False,
 
 
 def workload_spec(name: str) -> WorkloadSpec:
-    """Registry entry for one workload (SPECint-alike or OO)."""
-    if name not in _ALL_WORKLOADS:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
-        )
-    return _ALL_WORKLOADS[name]
+    """Registry entry for one workload (SPECint-alike, OO, or server).
+
+    Accepts composite ``name@lowering`` benchmark names; the entry is the
+    base workload's.
+    """
+    spec, _, _ = _resolve(name)
+    return spec
 
 
-def build_program(name: str, seed: Optional[int] = None) -> GuestProgram:
-    """Assemble the named workload's guest program."""
-    if name not in _ALL_WORKLOADS:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
-        )
-    return _ALL_WORKLOADS[name].build(seed=seed)
+def build_program(name: str, seed: Optional[int] = None,
+                  lowering: Optional[str] = None) -> GuestProgram:
+    """Assemble the named workload's guest program.
+
+    The dispatch control-flow shape comes from the ``lowering`` knob or a
+    composite ``name@lowering`` benchmark name (they must agree if both
+    are given); ``None`` is the classic jump table.
+    """
+    spec, _, effective = _resolve(name, lowering)
+    return spec.build(seed=seed, lowering=effective)
 
 
 def get_trace(name: str, n_instructions: int = 400_000, seed: int = 1997,
-              use_cache: bool = True) -> Trace:
+              use_cache: bool = True, lowering: Optional[str] = None) -> Trace:
     """Return a validated trace of the named workload.
 
     Traces are cached on disk (see :func:`repro.trace.io.cached_trace`)
-    keyed by (name, length, seed); pass ``use_cache=False`` to force
-    regeneration.
+    keyed by (name, length, seed, lowering); pass ``use_cache=False`` to
+    force regeneration.  ``name`` may be composite (``perl@if_tree``).
     """
-    if name not in _ALL_WORKLOADS:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
-        )
+    spec, _, effective = _resolve(name, lowering)
 
     def generate() -> Trace:
-        program = _ALL_WORKLOADS[name].build(seed=seed)
+        program = spec.build(seed=seed, lowering=effective)
         trace = Trace.from_raw(run_program(program, max_instructions=n_instructions))
         trace.validate()
         return trace
 
     if not use_cache:
         return generate()
-    return cached_trace(trace_fingerprint(name, n_instructions, seed), generate)
+    return cached_trace(
+        trace_fingerprint(name, n_instructions, seed, lowering), generate
+    )
 
 
 def trace_fingerprint(name: str, n_instructions: int = 400_000,
-                      seed: int = 1997) -> str:
+                      seed: int = 1997,
+                      lowering: Optional[str] = None) -> str:
     """Stable, filesystem-safe identity of :func:`get_trace`'s result.
 
     Covers everything that determines the trace content: workload name,
-    length, generator seed, and a hash of the generator sources (workload
-    module, shared emitters, VM, builder).  Used as the trace-cache key and
-    as the trace component of the sweep runner's result-cache keys.
+    switch lowering, length, generator seed, and a hash of the generator
+    sources (workload module, shared emitters, VM, builder, lowerings).
+    Used as the trace-cache key and as the trace component of the sweep
+    runner's result-cache keys — distinct lowerings therefore can never
+    alias in either cache.
     """
-    if name not in _ALL_WORKLOADS:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(workload_names(include_oo=True, include_server=True))}"
-        )
-    fingerprint = _code_fingerprint(_ALL_WORKLOADS[name].module)
-    return f"{name}_n{n_instructions}_s{seed}_{fingerprint}"
+    spec, base, effective = _resolve(name, lowering)
+    fingerprint = _code_fingerprint(spec.module)
+    stem = base if effective is None else f"{base}@{effective}"
+    return f"{stem}_n{n_instructions}_s{seed}_{fingerprint}"
 
 
 @lru_cache(maxsize=None)
@@ -302,7 +350,7 @@ def _code_fingerprint(module_name: str) -> str:
     """
     digest = hashlib.md5()
     for mod in (module_name, "repro.workloads.support", "repro.guest.vm",
-                "repro.guest.builder"):
+                "repro.guest.builder", "repro.guest.lowering"):
         module = importlib.import_module(mod)
         with open(module.__file__, "rb") as handle:
             digest.update(handle.read())

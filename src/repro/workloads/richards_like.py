@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -57,9 +58,10 @@ class RichardsParams:
     method_pad: int = 4
 
 
-def build(params: RichardsParams = RichardsParams()) -> GuestProgram:
+def build(params: RichardsParams = RichardsParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -115,11 +115,12 @@ class RpcParams(ServerParams):
     max_pad: int = 4
 
 
-def build(params: ServerParams = ServerParams()) -> GuestProgram:
+def build(params: ServerParams = ServerParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     if params.poly_ops not in (1, 2):
         raise ValueError("poly_ops must be 1 (monomorphic) or 2 (2-way)")
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------
@@ -178,7 +179,9 @@ def build(params: ServerParams = ServerParams()) -> GuestProgram:
             b.ret()
 
     # Route table: the one shared, genuinely polymorphic dispatch site.
-    route_table = b.data_table(
+    # (The per-stage leaf calls above go through private data slots, not a
+    # selector-indexed table, so they are not switches and stay raw.)
+    route_table = b.switch_table(
         [f"rt{route}_s0" for route in range(params.n_routes)]
     )
 
@@ -207,7 +210,8 @@ def build(params: ServerParams = ServerParams()) -> GuestProgram:
     b.load(ROUTE, T0, 0)
     b.load(PAY, T0, 4)
     support.emit_operand_pad(b, PAY, params.parse_branches, rng, acc_reg=ACC)
-    support.emit_call_dispatch(b, route_table, ROUTE)
+    b.switch(ROUTE, route_table, kind="call", weights=weights,
+             stem="route_sw")
     b.addi(REQ, REQ, 1)
     b.li(T2, params.script_len)
     b.blt(REQ, T2, "req_loop")

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import INSTRUCTION_BYTES
+from repro.guest.lowering import emit_table_dispatch
 
 # Expression temporaries (clobbered by emit_* helpers).
 T0, T1, T2, T3 = 1, 2, 3, 4
@@ -36,30 +37,31 @@ _LCG_MASK = 0x3FFFFFFF
 
 def emit_dispatch(b: ProgramBuilder, table_base: int, token_reg: int,
                   t_addr: int = T0, t_handler: int = T1) -> int:
-    """Emit a jump-table dispatch: ``jr table[token_reg]``.
+    """Emit a raw jump-table dispatch: ``jr table[token_reg]``.
 
     Returns the address of the ``jr`` instruction (the static indirect jump
     the target cache will predict).  ``t_addr``/``t_handler`` are scratch.
+
+    This is the fixed-shape primitive; workloads should instead describe
+    dispatch with :meth:`ProgramBuilder.switch`, which routes through the
+    active lowering pass (this helper *is* its ``jump_table`` shape).
     """
-    b.shli(t_addr, token_reg, 2)
-    b.li(t_handler, table_base)
-    b.add(t_addr, t_addr, t_handler)
-    b.load(t_handler, t_addr)
-    return b.jr(t_handler)
+    return emit_table_dispatch(
+        b, table_base, token_reg, kind="jump",
+        t_addr=t_addr, t_handler=t_handler,
+    )
 
 
 def emit_call_dispatch(b: ProgramBuilder, table_base: int, token_reg: int,
                        t_addr: int = T0, t_handler: int = T1) -> int:
     """Like :func:`emit_dispatch` but via an indirect call (``callr``).
 
-    Used by the OO-style workloads (vortex/xlisp) whose dispatch is a
-    virtual method call rather than a switch.
+    Used by OO-style dispatch (a virtual method call rather than a switch).
     """
-    b.shli(t_addr, token_reg, 2)
-    b.li(t_handler, table_base)
-    b.add(t_addr, t_addr, t_handler)
-    b.load(t_handler, t_addr)
-    return b.callr(t_handler)
+    return emit_table_dispatch(
+        b, table_base, token_reg, kind="call",
+        t_addr=t_addr, t_handler=t_handler,
+    )
 
 
 def emit_lcg_step(b: ProgramBuilder, state_reg: int = RNG, t: int = T3) -> None:
@@ -140,9 +142,20 @@ def handler_labels(stem: str, count: int) -> List[str]:
 # Host-side data generation
 # ----------------------------------------------------------------------
 
-def zipf_weights(k: int, s: float = 1.0) -> List[float]:
-    """Zipf-like weights for ``k`` categories (rank-frequency ~ 1/rank^s)."""
-    return [1.0 / (rank ** s) for rank in range(1, k + 1)]
+def zipf_weights(k: int, s: float = 1.0, normalize: bool = False) -> List[float]:
+    """Zipf-like weights for ``k`` categories (rank-frequency ~ 1/rank^s).
+
+    With ``normalize=True`` the weights are scaled to sum to 1, making
+    them directly usable as a probability distribution (e.g. as switch
+    case weights for the ``clustered`` lowering's hot-mass threshold).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    weights = [1.0 / (rank ** s) for rank in range(1, k + 1)]
+    if normalize:
+        total = sum(weights)
+        weights = [w / total for w in weights]
+    return weights
 
 
 def weighted_sequence(rng: random.Random, n: int, weights: Sequence[float]) -> List[int]:

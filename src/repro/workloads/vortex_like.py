@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -51,9 +51,10 @@ class VortexParams:
     hash_table_words: int = 128
 
 
-def build(params: VortexParams = VortexParams()) -> GuestProgram:
+def build(params: VortexParams = VortexParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------
@@ -105,7 +106,16 @@ def build(params: VortexParams = VortexParams()) -> GuestProgram:
             b.ret()
 
     # Method tables: one table per class, three pointers each, flattened.
+    # Each op's call site is a strided switch over the shared table: case
+    # ``cls`` of op ``op`` lives at word ``cls * N_OPS + op``.
     method_table = b.data_table(method_names)
+    op_tables = [
+        b.switch_table(
+            [f"m_c{cls}_o{op}" for cls in range(N_CLASSES)],
+            stride=N_OPS, offset=op, base=method_table,
+        )
+        for op in range(N_OPS)
+    ]
 
     # ------------------------------------------------------------------
     # Objects: class sequence in homogeneous runs.
@@ -135,13 +145,8 @@ def build(params: VortexParams = VortexParams()) -> GuestProgram:
     b.load(CLS, OBJ, 0)
     for op in range(N_OPS):
         # method = method_table[cls * N_OPS + op]
-        b.li(T0, N_OPS)
-        b.mul(T0, CLS, T0)
-        b.addi(T0, T0, op)
-        b.shli(T0, T0, 2)
-        b.addi(T0, T0, method_table)
-        b.load(T1, T0)
-        b.callr(T1)
+        b.switch(CLS, op_tables[op], kind="call", t_addr=T0, t_handler=T1,
+                 stem=f"vcall{op}_sw")
         # inter-call work: key comparison loop (B-tree descent stand-in)
         b.li(T3, 5)
         support.emit_work_loop(b, b.unique_label(f"descend_{op}"), T3, counter_reg=T2)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.guest.builder import ProgramBuilder
 from repro.guest.isa import GuestProgram
@@ -104,26 +104,40 @@ class _HeapGen:
         return self._alloc(TAG_CONS, a=car, b=cdr, c=builtin)
 
 
-def build(params: XlispParams = XlispParams()) -> GuestProgram:
+def build(params: XlispParams = XlispParams(),
+          lowering: Optional[str] = None) -> GuestProgram:
     rng = random.Random(params.seed)
-    b = ProgramBuilder()
+    b = ProgramBuilder(lowering=lowering)
     b.jmp("main")
 
     # ------------------------------------------------------------------
     # eval: dispatch on tag.
     # ------------------------------------------------------------------
     tag_handlers = [f"ev_{t}" for t in range(N_TAGS)]
-    tag_table = b.data_table(tag_handlers)
+    tag_table = b.switch_table(tag_handlers)
     builtin_names = [f"builtin_{i}" for i in range(8)]
-    builtin_table = b.data_table(builtin_names)
+    builtin_table = b.switch_table(builtin_names)
     gc_tables = [
-        b.data_table([f"gc{phase}_{t}" for t in range(N_TAGS)])
+        b.switch_table([f"gc{phase}_{t}" for t in range(N_TAGS)])
         for phase in range(params.gc_phases)
     ]
+    # Spec-level tag frequencies (fixnum dominates per fixnum_bias; cons
+    # cells are the interior nodes) for density-based lowerings.
+    rest = 1.0 - params.fixnum_bias
+    tag_weights = [
+        params.fixnum_bias,   # fixnum
+        0.5,                  # cons
+        0.30 * rest,          # symbol
+        0.25 * rest,          # string
+        0.20 * rest,          # flonum
+        0.10 * rest,          # vector
+        0.15 * rest,          # nil
+    ]
+    builtin_weights = [5.0, 4.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0]
 
     b.label("eval")
     b.load(TAG, OBJ, 0)
-    support.emit_dispatch(b, tag_table, TAG)
+    b.switch(TAG, tag_table, weights=tag_weights, stem="ev_sw")
 
     b.label("ev_0")  # fixnum
     b.load(VAL, OBJ, 4)
@@ -147,7 +161,8 @@ def build(params: XlispParams = XlispParams()) -> GuestProgram:
     b.addi(SP, SP, -4)
     b.load(OBJ, SP)
     b.load(T2, OBJ, 12)           # builtin id
-    support.emit_call_dispatch(b, builtin_table, T2)
+    b.switch(T2, builtin_table, kind="call", weights=builtin_weights,
+             stem="builtin_sw")
     b.ret()
 
     b.label("ev_2")  # symbol: follow the binding
@@ -254,7 +269,8 @@ def build(params: XlispParams = XlispParams()) -> GuestProgram:
         b.mul(T0, HEAPI, T0)
         b.addi(OBJ, T0, heap_base)
         b.load(TAG, OBJ, 0)
-        support.emit_dispatch(b, gc_tables[phase], TAG)
+        b.switch(TAG, gc_tables[phase], weights=tag_weights,
+                 stem=f"gc{phase}_sw")
         for t in range(N_TAGS):
             b.label(f"gc{phase}_{t}")
             support.pad_handler(b, rng, 0, 3, acc_reg=ACC)

@@ -92,8 +92,8 @@ class TestRegistryAndReport:
         names = [checker.name for checker in CHECKERS]
         assert len(names) == len(set(names))
         assert set(names) == {"determinism", "cache-keys", "registry",
-                              "bitwidth", "hotloop", "obs",
-                              "vector-hygiene", "worker-safety",
+                              "lowering-registry", "bitwidth", "hotloop",
+                              "obs", "vector-hygiene", "worker-safety",
                               "transitive-purity", "trait-contract",
                               "stale-suppression"}
 

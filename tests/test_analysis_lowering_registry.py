@@ -1,0 +1,101 @@
+"""Tests for the lowering-registry lint pass."""
+
+import gc
+
+import pytest
+
+from repro.analysis import LoweringRegistryChecker
+from repro.analysis.base import Project
+from repro.guest import lowering as lowering_mod
+from repro.guest.lowering import LoweringPass, get_lowering, lowering_names
+
+
+def _rules(findings):
+    return {finding.rule for finding in findings}
+
+
+@pytest.fixture(scope="module")
+def project():
+    return Project.load()
+
+
+class TestShippedTreeIsClean:
+    def test_no_findings_on_the_shipped_registry(self, project):
+        assert LoweringRegistryChecker().run(project) == []
+
+    def test_builtin_lowerings_are_registered(self):
+        assert {"jump_table", "if_tree", "clustered"} <= set(lowering_names())
+
+
+class TestViolationsAreFlagged:
+    def test_unregistered_pass_is_flagged(self, project):
+        class _LintStubLowering(LoweringPass):
+            name = "_lint_stub"
+            label = "stub"
+
+            def lower(self, b, site):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        # Only classes inside the installed package are in scope.
+        _LintStubLowering.__module__ = "repro.guest.lowering"
+        try:
+            findings = LoweringRegistryChecker().run(project)
+            assert "lowering-unregistered-pass" in _rules(findings)
+            assert any("_LintStubLowering" in f.message for f in findings)
+        finally:
+            del _LintStubLowering
+            gc.collect()
+
+    def test_missing_label_is_flagged(self, project):
+        lowering = get_lowering("jump_table")
+        cls = type(lowering)
+        original = cls.label
+        cls.label = ""
+        try:
+            findings = LoweringRegistryChecker().run(project)
+            assert "lowering-missing-label" in _rules(findings)
+        finally:
+            cls.label = original
+
+    def test_missing_spec_example_is_flagged(self, project):
+        lowering = get_lowering("if_tree")
+        cls = type(lowering)
+        original = cls.spec_example
+        cls.spec_example = {}
+        try:
+            findings = LoweringRegistryChecker().run(project)
+            assert "lowering-missing-spec-example" in _rules(findings)
+        finally:
+            cls.spec_example = original
+
+    def test_broken_spec_example_is_flagged(self, project):
+        lowering = get_lowering("clustered")
+        cls = type(lowering)
+        original = cls.spec_example
+        cls.spec_example = {"cases": 0}  # zero cases cannot lower
+        try:
+            findings = LoweringRegistryChecker().run(project)
+            assert "lowering-spec-example-broken" in _rules(findings)
+        finally:
+            cls.spec_example = original
+
+    def test_example_weights_are_exercised(self, project):
+        lowering = get_lowering("clustered")
+        cls = type(lowering)
+        original = cls.spec_example
+        # wrong arity: 2 weights for 4 cases must fail the scratch build
+        cls.spec_example = {"cases": 4, "weights": [1, 2]}
+        try:
+            findings = LoweringRegistryChecker().run(project)
+            assert "lowering-spec-example-broken" in _rules(findings)
+        finally:
+            cls.spec_example = original
+
+
+class TestRegistryIsolation:
+    def test_rogue_registration_cleanup(self):
+        """register_lowering rejects collisions, so tests must not leak."""
+        with pytest.raises(ValueError):
+            lowering_mod.register_lowering(
+                type("Dup", (LoweringPass,), {"name": "jump_table"})
+            )

@@ -24,7 +24,7 @@ class TestHarness:
             "table1", "figures1_8", "table2", "table4", "table5", "table6",
             "table7", "table8", "table9", "figures12_13", "headline",
             "oo_future_work", "cascaded", "modern", "capacity",
-            "calibration", "server_btb",
+            "calibration", "server_btb", "switch_lowering",
         }
 
     def test_table_formatting(self, ctx):

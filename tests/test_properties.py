@@ -2,6 +2,7 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -169,3 +170,47 @@ class TestWorkloadSupportProperties:
         assert len(weights) == k
         assert all(w > 0 for w in weights)
         assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    @given(st.integers(1, 40), st.floats(0.1, 2.0))
+    def test_zipf_weights_normalize_to_distribution(self, k, s):
+        weights = zipf_weights(k, s, normalize=True)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(0 < w <= 1 for w in weights)
+        # normalization preserves the rank ordering and the ratios
+        raw = zipf_weights(k, s)
+        for a, b in zip(weights, raw):
+            assert abs(a * sum(raw) - b) < 1e-9 * max(1.0, sum(raw))
+
+    @given(st.integers(-3, 0))
+    def test_zipf_weights_reject_nonpositive_k(self, k):
+        with pytest.raises(ValueError):
+            zipf_weights(k)
+
+    @given(st.integers(2, 12), st.floats(0.0, 0.9), st.integers(0, 10_000),
+           st.integers(0, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_markov_sequence_is_stochastic(self, k, self_bias, seed, n):
+        """Every draw lands in [0, k): the implied transition rows are
+        proper distributions (no leakage outside the category set), and the
+        sequence has exactly the requested length."""
+        rng = random.Random(seed)
+        sequence = markov_sequence(rng, n, k, self_bias=self_bias)
+        assert len(sequence) == n
+        assert all(0 <= value < k for value in sequence)
+
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_markov_sequence_respects_zero_weight_categories(self, k, seed):
+        """Categories with zero weight are unreachable except via the
+        self-transition, which only re-emits an already-drawn category."""
+        rng = random.Random(seed)
+        weights = [1.0] * k
+        weights[-1] = 0.0
+        sequence = markov_sequence(rng, 400, k, self_bias=0.3, weights=weights)
+        assert all(value != k - 1 for value in sequence)
+
+    @given(st.integers(-3, 0), st.integers(2, 8))
+    def test_markov_sequence_rejects_nonpositive_k(self, k, n):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            markov_sequence(rng, n, k)

@@ -43,6 +43,18 @@ def test_rows_preserve_spec_order_and_overrides():
     assert all(isinstance(row.config, EngineConfig) for row in plan.rows)
 
 
+def test_composite_benchmark_names_select_a_lowering():
+    plan = parse_spec_document({
+        "benchmarks": ["perl@if_tree", "perl@jump_table", "gcc@clustered"],
+        "cells": [{"preset": "btb-only"}],
+    })
+    # '@jump_table' is the default shape and canonicalises to the bare
+    # name, so scheduler dedup and the caches see one spelling per trace.
+    assert [row.benchmark for row in plan.rows] == [
+        "perl@if_tree", "perl", "gcc@clustered",
+    ]
+
+
 @pytest.mark.parametrize("document, fragment", [
     (5, "must be a JSON object"),
     ({"cells": [{"preset": "btb-only"}], "cels": []}, "unknown key(s): cels"),
@@ -73,6 +85,10 @@ def test_rows_preserve_spec_order_and_overrides():
      "'cells[0].label' must be a string"),
     ({"cells": [{"preset": "btb-only", "benchmarks": ["zzz"]}]},
      "'cells[0].benchmarks' names unknown benchmark 'zzz'"),
+    ({"cells": [{"preset": "btb-only", "benchmarks": ["perl@bogus"]}]},
+     "'cells[0].benchmarks' names unknown lowering in 'perl@bogus'"),
+    ({"cells": [{"preset": "btb-only", "benchmarks": ["zzz@if_tree"]}]},
+     "'cells[0].benchmarks' names unknown benchmark 'zzz@if_tree'"),
 ])
 def test_structural_errors_name_the_key_path(document, fragment):
     with pytest.raises(SpecError) as excinfo:
